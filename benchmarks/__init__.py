@@ -1,0 +1,1 @@
+"""Benchmark suite reproducing every table/figure (see DESIGN.md §4)."""

@@ -1,0 +1,69 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Each benchmark module reproduces one table/figure of the paper (or one
+ablation from DESIGN.md §4).  Benchmarks print the same row/series
+structure the paper reports and assert the *shape* of the result —
+absolute numbers are simulated ticks, not the authors' wall clock.
+
+All simulated-time parameters live in ``BENCH_BASE``: 4 workers per
+machine at 4 micro-ops per tick, network latency 4 ticks.  This places
+one network round trip at roughly a hundred vertex operations, in the
+same regime as InfiniBand microseconds versus nanosecond-scale memory
+accesses on the paper's cluster.
+"""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+
+#: Cost-model base shared by every benchmark.
+BENCH_BASE = dict(workers_per_machine=4, ops_per_tick=4, network_latency=4)
+
+
+def bench_config(num_machines, **overrides):
+    params = dict(BENCH_BASE)
+    params.update(overrides)
+    return ClusterConfig(num_machines=num_machines, **params)
+
+
+def print_table(title, header, rows):
+    """Print a fixed-width table to the bench log."""
+    print("\n=== %s ===" % title)
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows))
+        if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def geometric_mean(values):
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-12)
+    return product ** (1.0 / len(values)) if values else 0.0
+
+
+@pytest.fixture(scope="session")
+def bsbm_workload():
+    """The FIG5 workload: BSBM-like graph + the 10 parts of query 5."""
+    from repro.workloads import generate_bsbm, query5_parts
+
+    bsbm = generate_bsbm(num_products=10_000, seed=7, num_features=250)
+    parts = query5_parts(bsbm, num_parts=10, seed=7)
+    return bsbm, parts
+
+
+@pytest.fixture(scope="session")
+def random_workload():
+    """The FIG6 workload: uniform random graph + 10 random 4-edge queries."""
+    from repro.graph import uniform_random_graph
+    from repro.workloads import random_query_suite
+
+    graph = uniform_random_graph(2_500, 12_500, seed=11, num_types=8)
+    queries = random_query_suite(num_queries=10, num_edges=4, seed=11)
+    return graph, queries

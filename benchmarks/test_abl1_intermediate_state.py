@@ -1,0 +1,79 @@
+"""ABL1 — intermediate-state explosion: async DFT vs BFT vs joins.
+
+Paper §1/§2: breadth-first traversals and join-based evaluation
+"result in a potentially high maximum memory utilization due to the
+volume of intermediate results and states.  Extending a pattern with
+BFTs/joins can result in exponentially many active intermediate
+results.  In contrast, with depth-first traversals, each worker ...
+tries to complete a query instance before starting a new one, thus
+reducing the number of active intermediate results."
+
+We grow a path pattern one edge at a time and report the peak number of
+live intermediate contexts in each engine.  Expected shape: BFT and
+join peaks grow with the (exponentially growing) result count, while
+the async DFT engine's peak stays bounded by its flow-control budget.
+"""
+
+from repro.baselines import BftEngine, JoinEngine
+from repro.graph import uniform_random_graph
+from repro.runtime import PgxdAsyncEngine
+
+from .conftest import bench_config, print_table
+
+PATH_QUERIES = [
+    "SELECT v0 WHERE (v0)-[]->(v1)",
+    "SELECT v0 WHERE (v0)-[]->(v1)-[]->(v2)",
+    "SELECT v0 WHERE (v0)-[]->(v1)-[]->(v2)-[]->(v3)",
+    "SELECT v0 WHERE (v0)-[]->(v1)-[]->(v2)-[]->(v3)-[]->(v4)",
+]
+
+
+def run_abl1():
+    graph = uniform_random_graph(600, 3_600, seed=13)
+    config = bench_config(4)
+    dft_engine = PgxdAsyncEngine(graph, config)
+    bft_engine = BftEngine(graph, config)
+    join_engine = JoinEngine(graph)
+
+    rows = []
+    measurements = []
+    for edges, query in enumerate(PATH_QUERIES, start=1):
+        dft = dft_engine.query(query)
+        bft = bft_engine.query(query)
+        join = join_engine.query(query)
+        assert len(dft.rows) == len(bft.rows) == len(join.rows)
+        entry = (
+            edges,
+            len(dft.rows),
+            dft.metrics.peak_buffered_contexts,
+            bft.metrics.peak_buffered_contexts,
+            join.metrics.peak_buffered_contexts,
+        )
+        measurements.append(entry)
+        rows.append(entry)
+    print_table(
+        "ABL1: peak live intermediate contexts while growing a path",
+        ("edges", "matches", "DFT peak", "BFT peak", "join peak"),
+        rows,
+    )
+    return measurements
+
+
+def test_abl1_intermediate_state(benchmark):
+    measurements = benchmark.pedantic(run_abl1, rounds=1, iterations=1)
+    last = measurements[-1]
+    _, matches, dft_peak, bft_peak, join_peak = last
+
+    # Shape 1: BFT/joins materialize state proportional to the frontier.
+    assert bft_peak > matches / 2
+    assert join_peak >= matches
+
+    # Shape 2: the async DFT engine keeps orders of magnitude less live
+    # state on the longest pattern.
+    assert dft_peak * 10 < bft_peak
+    assert dft_peak * 10 < join_peak
+
+    # Shape 3: DFT live state stays a vanishing fraction of the match
+    # count as the pattern grows, while BFT's tracks it one-for-one.
+    assert dft_peak < matches / 100
+    assert measurements[-1][3] > 10 * measurements[0][3]

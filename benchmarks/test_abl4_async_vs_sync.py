@@ -1,0 +1,79 @@
+"""ABL4 — asynchrony hides communication latency (paper §1).
+
+"Asynchrony helps improve the performance of queries on distributed
+graphs by using work from other stages to hide the effects of workload
+imbalance and communication latency within a stage."
+
+We sweep the network latency and compare the async engine against a
+blocking variant in which a worker synchronously waits for the
+acknowledgment of every remote message (classic RPC-style traversal).
+Expected shape: async completion time is nearly flat in latency (the
+wait is overlapped with other work), while blocking time grows linearly
+and the gap widens with latency.
+"""
+
+from repro.graph import uniform_random_graph
+from repro.runtime import run_query
+
+from .conftest import bench_config, print_table
+
+QUERY = "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c), a.type = 1"
+LATENCIES = [2, 8, 32]
+
+
+def run_abl4():
+    graph = uniform_random_graph(400, 2_400, seed=17, num_types=4)
+    rows = []
+    results = {}
+    reference = None
+    for latency in LATENCIES:
+        async_run = run_query(
+            graph, QUERY,
+            bench_config(3, network_latency=latency,
+                         blocking_remote=False),
+        )
+        blocking_run = run_query(
+            graph, QUERY,
+            bench_config(3, network_latency=latency,
+                         blocking_remote=True),
+        )
+        if reference is None:
+            reference = sorted(async_run.rows)
+        assert sorted(async_run.rows) == reference
+        assert sorted(blocking_run.rows) == reference
+        results[latency] = (async_run.metrics.ticks,
+                            blocking_run.metrics.ticks)
+        rows.append((
+            latency,
+            async_run.metrics.ticks,
+            blocking_run.metrics.ticks,
+            "%.1fx" % (blocking_run.metrics.ticks
+                       / max(1, async_run.metrics.ticks)),
+        ))
+    print_table(
+        "ABL4: async DFT vs blocking (synchronous) remote hops",
+        ("latency", "async ticks", "blocking ticks", "blowup"),
+        rows,
+    )
+    return results
+
+
+def test_abl4_async_vs_sync(benchmark):
+    results = benchmark.pedantic(run_abl4, rounds=1, iterations=1)
+
+    # Shape 1: async wins at every latency.
+    for latency, (async_ticks, blocking_ticks) in results.items():
+        assert async_ticks < blocking_ticks
+
+    # Shape 2: the blocking engine degrades linearly with latency; the
+    # async engine absorbs it (less-than-proportional growth).
+    low, high = LATENCIES[0], LATENCIES[-1]
+    latency_ratio = high / low
+    blocking_growth = results[high][1] / max(1, results[low][1])
+    async_growth = results[high][0] / max(1, results[low][0])
+    assert blocking_growth > 0.5 * latency_ratio
+    assert async_growth < 0.5 * blocking_growth
+
+    # Shape 3: the async advantage widens with latency.
+    assert results[high][1] / results[high][0] > \
+        results[low][1] / results[low][0]

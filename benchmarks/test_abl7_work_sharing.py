@@ -1,0 +1,62 @@
+"""ABL7 — intra-machine work sharing (paper §1/§3.3/§4.1).
+
+The paper attributes part of its small-query scaling losses to the
+missing "intra-machine workload balancing capabilities": a computation
+is one depth-first stack, so without work sharing a machine with one
+hot traversal keeps one worker busy and the rest idle.  Our runtime
+implements the sharing the paper describes ("computations ... submitted
+internally to facilitate work-sharing") behind a config flag.
+
+We run a single-origin query — whose traversal starts as exactly one
+DFS — with sharing on and off.  Expected shape: identical results; with
+sharing enabled the machine's workers split the traversal and the query
+completes several times faster; idle time collapses.
+"""
+
+from repro.runtime import PgxdAsyncEngine
+from repro.workloads import generate_bsbm, query5_parts
+
+from .conftest import bench_config, print_table
+
+
+def run_abl7():
+    bsbm = generate_bsbm(num_products=3_000, seed=7, num_features=80)
+    heavy_part = query5_parts(bsbm, num_parts=10, seed=7)[-1]
+
+    outcomes = {}
+    rows = []
+    for sharing in (False, True):
+        engine = PgxdAsyncEngine(
+            bsbm.graph, bench_config(4, work_sharing=sharing)
+        )
+        result = engine.query(heavy_part)
+        outcomes[sharing] = result
+        rows.append((
+            "enabled" if sharing else "disabled",
+            result.metrics.ticks,
+            result.metrics.total_idle_ticks,
+            result.metrics.total_ops,
+        ))
+    print_table(
+        "ABL7: intra-machine work sharing on a single-origin heavy query "
+        "(%d matches)" % len(outcomes[True].rows),
+        ("work sharing", "ticks", "idle worker-ticks", "ops"),
+        rows,
+    )
+    return outcomes
+
+
+def test_abl7_work_sharing(benchmark):
+    outcomes = benchmark.pedantic(run_abl7, rounds=1, iterations=1)
+    without = outcomes[False]
+    with_sharing = outcomes[True]
+
+    # Correctness is unaffected.
+    assert sorted(without.rows) == sorted(with_sharing.rows)
+
+    # Shape 1: sharing shortens the single-origin query substantially.
+    assert with_sharing.metrics.ticks * 2 < without.metrics.ticks
+
+    # Shape 2: worker idle time shrinks (the whole point).
+    assert with_sharing.metrics.total_idle_ticks < \
+        without.metrics.total_idle_ticks

@@ -1,0 +1,76 @@
+"""ABL8 — ghost nodes (PGX.D's replication of high-degree vertices).
+
+Paper §4: "we disable the ghost nodes functionality of PGX.D" for the
+experiments.  We implement the feature and measure what enabling it
+buys on a hub-heavy (power-law) graph: when the target of a remote hop
+is a ghost, its replicated properties let the sender run the next
+stage's admission checks locally and skip messages for failing targets.
+
+Expected shape: identical results; with ghosts enabled, a selective
+target filter prunes a large share of remote messages, cutting shipped
+contexts and completion time.  On a uniform graph with no hubs the
+feature is inert (nothing qualifies as a ghost).
+"""
+
+from repro.baselines import SharedMemoryEngine
+from repro.graph import DistributedGraph, power_law_graph
+from repro.runtime import PgxdAsyncEngine
+
+from .conftest import bench_config, print_table
+
+#: Hops travel INTO the hubs: the in-neighbor hop's targets are edge
+#: sources, which the power-law generator draws from a Zipf — exactly
+#: the vertices the ghost threshold replicates.
+QUERY = (
+    "SELECT a, b WHERE (a)<-[]-(b WITH type = 0), a.value > 2000"
+)
+
+
+def run_abl8():
+    graph = power_law_graph(1_000, 12_000, seed=29, num_types=4)
+    config = bench_config(4)
+    reference = sorted(SharedMemoryEngine(graph).query(QUERY).rows)
+
+    outcomes = {}
+    rows = []
+    for threshold in (None, 100, 30):
+        dist = DistributedGraph.create(
+            graph, config.num_machines, ghost_threshold=threshold
+        )
+        engine = PgxdAsyncEngine(dist, config)
+        result = engine.query(QUERY)
+        assert sorted(result.rows) == reference
+        outcomes[threshold] = result
+        rows.append((
+            "off" if threshold is None else ">= %d" % threshold,
+            dist.num_ghosts,
+            result.metrics.ticks,
+            result.metrics.work_messages,
+            result.metrics.contexts_shipped,
+            result.metrics.ghost_prunes,
+        ))
+    print_table(
+        "ABL8: ghost nodes on a power-law graph (%d matches)"
+        % len(reference),
+        ("ghosts", "#ghosts", "ticks", "messages", "contexts", "prunes"),
+        rows,
+    )
+    return outcomes
+
+
+def test_abl8_ghost_nodes(benchmark):
+    outcomes = benchmark.pedantic(run_abl8, rounds=1, iterations=1)
+    off = outcomes[None]
+    aggressive = outcomes[30]
+
+    # Shape 1: the pre-filter engages and skips real traffic.
+    assert aggressive.metrics.ghost_prunes > 0
+    assert aggressive.metrics.contexts_shipped < \
+        off.metrics.contexts_shipped
+
+    # Shape 2: a lower threshold (more ghosts) prunes at least as much.
+    assert outcomes[30].metrics.ghost_prunes >= \
+        outcomes[100].metrics.ghost_prunes
+
+    # Shape 3: the saved communication shows up as time.
+    assert aggressive.metrics.ticks <= off.metrics.ticks

@@ -1,0 +1,82 @@
+"""ABL9 — partitioning sensitivity (paper §4, experimental settings).
+
+"The partitioning of vertices to machines is random, except that the
+system attempts to distribute a similar number of edges to each
+machine."  We compare that edge-balanced random placement against two
+alternatives on a skewed (power-law) graph: plain hash placement and
+contiguous block placement (which concentrates the hub-heavy id range
+on few machines).
+
+Expected shape: identical results under every partitioner; the paper's
+edge-balanced random placement completes fastest (or ties hash) because
+work is spread evenly, while block placement suffers from load
+imbalance — the machines owning the hubs become stragglers.
+"""
+
+from repro.baselines import SharedMemoryEngine
+from repro.graph import (
+    BlockPartitioner,
+    DistributedGraph,
+    EdgeBalancedRandomPartitioner,
+    HashPartitioner,
+    power_law_graph,
+)
+from repro.runtime import PgxdAsyncEngine
+
+from .conftest import bench_config, print_table
+
+QUERY = "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c), c.type = 1"
+
+PARTITIONERS = [
+    ("edge-balanced random", EdgeBalancedRandomPartitioner(seed=0)),
+    ("hash", HashPartitioner()),
+    ("block", BlockPartitioner()),
+]
+
+
+def run_abl9():
+    graph = power_law_graph(800, 6_400, seed=37, num_types=4)
+    config = bench_config(4)
+    reference = sorted(SharedMemoryEngine(graph).query(QUERY).rows)
+
+    outcomes = {}
+    rows = []
+    for name, partitioner in PARTITIONERS:
+        dist = DistributedGraph.create(
+            graph, config.num_machines, partitioner=partitioner
+        )
+        engine = PgxdAsyncEngine(dist, config)
+        result = engine.query(QUERY)
+        assert sorted(result.rows) == reference
+        edge_counts = dist.partition.edge_counts(graph)
+        imbalance = float(edge_counts.max()) / max(1.0, edge_counts.mean())
+        outcomes[name] = (result, imbalance)
+        rows.append((
+            name,
+            "%.2f" % imbalance,
+            result.metrics.ticks,
+            result.metrics.contexts_shipped,
+            result.metrics.total_idle_ticks,
+        ))
+    print_table(
+        "ABL9: partitioning strategies on a power-law graph "
+        "(%d matches)" % len(reference),
+        ("partitioner", "edge imbalance", "ticks", "contexts", "idle"),
+        rows,
+    )
+    return outcomes
+
+
+def test_abl9_partitioning(benchmark):
+    outcomes = benchmark.pedantic(run_abl9, rounds=1, iterations=1)
+    balanced, balanced_imb = outcomes["edge-balanced random"]
+    block, block_imb = outcomes["block"]
+
+    # Shape 1: the paper's partitioner balances edges better than block
+    # placement.  (A single hub can exceed the per-machine average on a
+    # power-law graph, so perfect balance is unattainable by any
+    # vertex-partitioner — the comparison is relative.)
+    assert balanced_imb < block_imb
+
+    # Shape 2: imbalance costs completion time.
+    assert balanced.metrics.ticks < block.metrics.ticks

@@ -1,0 +1,87 @@
+"""FIG6 — random 4-edge-pattern queries on a uniform random graph.
+
+Paper Figure 6: "an artificial uniformly random graph ... 10 randomly
+selected queries, with four edge patterns each", run on 2-32 machines,
+with the queries split into *heavy* (seconds-scale) and *fast* groups:
+
+    "PGX.D/Async achieves very good scalability on the heavy queries,
+    since there is enough work to leverage the additional machines.  In
+    contrast, for small queries ... adding more machines does not bring
+    any benefits and, as expected, using more machines introduces some
+    overhead."
+
+The graph is scaled down (DESIGN.md §2): 200M vertices / 2B edges in
+the paper versus a seeded uniform graph here; the time axis is
+simulated ticks.
+"""
+
+from repro.runtime import PgxdAsyncEngine
+from repro.workloads import split_heavy_fast
+
+from .conftest import bench_config, geometric_mean, print_table
+
+MACHINES = [2, 4, 8, 16, 32]
+
+
+def run_fig6(graph, queries):
+    ticks = {}
+    work = {}
+    reference_rows = {}
+    for machines in MACHINES:
+        engine = PgxdAsyncEngine(graph, bench_config(machines))
+        for index, query in enumerate(queries):
+            result = engine.query(query)
+            ticks[(machines, index)] = result.metrics.ticks
+            if machines == MACHINES[0]:
+                work[index] = result.metrics.total_ops
+                reference_rows[index] = sorted(result.rows)
+            else:
+                assert sorted(result.rows) == reference_rows[index]
+
+    heavy, fast = split_heavy_fast(work)
+    header = ["machines"] + [
+        "Q%d%s" % (index + 1, "*" if index in heavy else "")
+        for index in range(len(queries))
+    ]
+    rows = []
+    for machines in MACHINES:
+        rows.append(
+            ["%d" % machines]
+            + [ticks[(machines, index)] for index in range(len(queries))]
+        )
+    print_table(
+        "FIG6: time (ticks) to complete 10 random queries "
+        "(* = heavy group)",
+        header,
+        rows,
+    )
+    return ticks, heavy, fast
+
+
+def test_fig6_random(benchmark, random_workload):
+    graph, queries = random_workload
+    ticks, heavy, fast = benchmark.pedantic(
+        run_fig6, args=(graph, queries), rounds=1, iterations=1
+    )
+    assert heavy and fast, "the suite must split into heavy and fast"
+
+    # Shape 1: heavy queries scale well — going 2 -> 32 machines cuts
+    # completion time by at least 3x on geometric average.
+    heavy_speedups = [
+        ticks[(2, index)] / max(1, ticks[(32, index)]) for index in heavy
+    ]
+    assert geometric_mean(heavy_speedups) > 3.0
+
+    # Shape 2: every heavy query improves monotonically-ish: 32 machines
+    # always beat 2 machines.
+    for index in heavy:
+        assert ticks[(32, index)] < ticks[(2, index)]
+
+    # Shape 3: fast queries gain little or regress — their best possible
+    # speedup stays far below the heavy group's.
+    fast_speedups = [
+        ticks[(2, index)] / max(1, ticks[(32, index)]) for index in fast
+    ]
+    assert geometric_mean(fast_speedups) < 0.7 * geometric_mean(
+        heavy_speedups
+    )

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""E-commerce product similarity on the BSBM-like workload.
+
+Reproduces the flavour of the paper's first experiment interactively:
+generate the BSBM-shaped property graph, run BSBM query 5 ("find similar
+products") for several origin products on both the single-machine PGX
+baseline and the distributed engine, and compare the behaviour of heavy
+versus tiny query parts.
+
+Run with::
+
+    python examples/ecommerce_similarity.py
+"""
+
+from repro import ClusterConfig, PgxdAsyncEngine
+from repro.baselines import SharedMemoryEngine
+from repro.workloads import generate_bsbm, query5_parts
+
+
+def main():
+    bsbm = generate_bsbm(num_products=300, seed=42)
+    graph = bsbm.graph
+    print("BSBM-like graph:", graph)
+    print("  products :", len(bsbm.product_ids))
+    print("  features :", len(bsbm.feature_ids))
+    print("  offers   :", len(bsbm.offer_ids))
+    print("  reviews  :", len(bsbm.review_ids))
+
+    parts = query5_parts(bsbm, num_parts=10, seed=42)
+    pgx = SharedMemoryEngine(graph)
+    pgxd = PgxdAsyncEngine(graph, ClusterConfig(num_machines=8))
+
+    print("\n%-5s %8s %12s %12s %10s" % (
+        "part", "matches", "PGX ticks", "PGXD8 ticks", "messages"))
+    for index, query in enumerate(parts, start=1):
+        single = pgx.query(query)
+        distributed = pgxd.query(query)
+        assert sorted(single.rows) == sorted(distributed.rows)
+        print("%-5s %8d %12d %12d %10d" % (
+            "P%d" % index,
+            len(single.rows),
+            single.metrics.ticks,
+            distributed.metrics.ticks,
+            distributed.metrics.work_messages,
+        ))
+
+    print(
+        "\nHeavy parts benefit from distribution; tiny parts are dominated"
+        "\nby messaging and termination overhead — the Figure 5 story."
+    )
+
+    # Show an actual answer: the most similar products for one origin.
+    heavy = parts[-1]
+    result = pgxd.query(heavy)
+    print("\nsample similar-product pairs (last part):")
+    print(result.result_set.pretty(limit=10))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Matching semantics and advanced patterns side by side.
+
+Demonstrates the paper's §5 "Graph Isomorphism" discussion and the
+advanced pattern features:
+
+* the same triangle query under homomorphism (the paper's default),
+  isomorphism, and induced-subgraph semantics;
+* a bounded variable-length path (future-work "recursive paths");
+* the specialized common-neighbor hop engine.
+
+Run with::
+
+    python examples/matching_semantics.py
+"""
+
+from repro import ClusterConfig, PlannerOptions, uniform_random_graph
+from repro.plan import MatchSemantics
+from repro.runtime import PgxdAsyncEngine
+
+
+def main():
+    graph = uniform_random_graph(300, 2_400, seed=8, num_types=4)
+    engine = PgxdAsyncEngine(graph, ClusterConfig(num_machines=4))
+    print("graph:", graph)
+
+    # --- semantics ----------------------------------------------------
+    triangle = (
+        "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c), (c)-[]->(a)"
+    )
+    print("\ntriangle query under the three semantics:")
+    for semantics in MatchSemantics:
+        result = engine.query(
+            triangle, PlannerOptions(semantics=semantics)
+        )
+        print("  %-13s %6d matches  (ticks=%d)" % (
+            semantics.value, len(result.rows), result.metrics.ticks))
+    print(
+        "  homomorphism >= isomorphism >= induced, because each level\n"
+        "  adds constraints: distinct vertices/edges, then no extra edges."
+    )
+
+    # --- variable-length paths ----------------------------------------
+    reach = engine.query(
+        "SELECT DISTINCT b WHERE (a WITH id() = 0)-/{1,3}/->(b) ORDER BY b"
+    )
+    print("\nvertices within 3 hops of vertex 0: %d" % len(reach.rows))
+
+    # --- common neighbors ----------------------------------------------
+    cn_query = (
+        "SELECT a, b, c WHERE (a)-[]->(c)<-[]-(b), "
+        "a.type = 0, b.type = 1, a.value < b.value"
+    )
+    plain = engine.query(
+        cn_query, PlannerOptions(vertex_order=["a", "b", "c"])
+    )
+    optimized = engine.query(
+        cn_query,
+        PlannerOptions(vertex_order=["a", "b", "c"],
+                       use_common_neighbors=True),
+    )
+    assert sorted(plain.rows) == sorted(optimized.rows)
+    print("\ncommon-neighbor pattern (%d matches):" % len(plain.rows))
+    print("  decomposed plan : %6d messages, ticks=%d" % (
+        plain.metrics.work_messages, plain.metrics.ticks))
+    print("  CN hop engine   : %6d messages, ticks=%d" % (
+        optimized.metrics.work_messages, optimized.metrics.ticks))
+
+
+if __name__ == "__main__":
+    main()

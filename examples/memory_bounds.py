@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Flow control in action: completing a heavy query under tiny budgets.
+
+The paper's core systems claim is that depth-first traversal plus strict
+flow control give "a deterministic guarantee of query completion under a
+finite amount of memory."  This example runs the same heavy query with
+progressively smaller flow-control windows and shows that:
+
+* peak buffered contexts shrink with the configured window;
+* the query still completes, with identical results, every time;
+* the breadth-first baseline on the same query materializes orders of
+  magnitude more intermediate state no matter what.
+
+Run with::
+
+    python examples/memory_bounds.py
+"""
+
+from repro import ClusterConfig, run_query, uniform_random_graph
+from repro.baselines import BftEngine
+
+
+def main():
+    graph = uniform_random_graph(800, 6_000, seed=5)
+    query = (
+        "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c), "
+        "a.type = 1, c.value > 2000"
+    )
+    print("graph:", graph)
+    print("query:", query)
+
+    machines = 4
+    reference_rows = None
+    print("\n%-8s %-6s %16s %12s" % ("window", "bulk", "peak buffered",
+                                     "ticks"))
+    for window, bulk in [(16, 64), (8, 32), (4, 16), (2, 8), (1, 4), (1, 1)]:
+        config = ClusterConfig(
+            num_machines=machines,
+            flow_control_window=window,
+            bulk_message_size=bulk,
+        )
+        result = run_query(graph, query, config)
+        rows = sorted(result.rows)
+        if reference_rows is None:
+            reference_rows = rows
+        assert rows == reference_rows, "flow control changed the answer!"
+        print("%-8d %-6d %16d %12d" % (
+            window, bulk,
+            result.metrics.peak_buffered_contexts,
+            result.metrics.ticks,
+        ))
+
+    bft = BftEngine(graph, ClusterConfig(num_machines=machines)).query(query)
+    assert sorted(bft.rows) == reference_rows
+    print("\nBFT baseline peak intermediate state: %d contexts"
+          % bft.metrics.peak_buffered_contexts)
+    print("matches:", len(reference_rows))
+
+
+if __name__ == "__main__":
+    main()

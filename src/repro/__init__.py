@@ -1,0 +1,108 @@
+"""PGX.D/Async reproduction: a distributed graph pattern matching engine.
+
+Reimplementation of *PGX.D/Async: A Scalable Distributed Graph Pattern
+Matching Engine* (GRADES'17) on a deterministic simulated cluster.
+
+Quickstart::
+
+    from repro import GraphBuilder, PgxdAsyncEngine, ClusterConfig
+
+    builder = GraphBuilder()
+    alice = builder.add_vertex(label="person", age=31)
+    bob = builder.add_vertex(label="person", age=19)
+    builder.add_edge(alice, bob, label="friend")
+    graph = builder.build()
+
+    engine = PgxdAsyncEngine(graph, ClusterConfig(num_machines=4))
+    result = engine.query(
+        "SELECT a, b WHERE (a WITH age > 18)-[:friend]->(b)"
+    )
+    print(result.rows)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced figure.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.metrics import QueryMetrics
+from repro.errors import (
+    ClusterConfigError,
+    FlowControlError,
+    GraphError,
+    PgqlError,
+    PgqlSyntaxError,
+    PgqlValidationError,
+    PlanError,
+    RemoteAccessError,
+    ReproError,
+    RuntimeFault,
+)
+from repro.graph import (
+    DistributedGraph,
+    EdgeBalancedRandomPartitioner,
+    GraphBuilder,
+    HashPartitioner,
+    PropertyGraph,
+    chain_graph,
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+    uniform_random_graph,
+)
+from repro.pgql import parse, parse_and_validate
+from repro.plan import (
+    MatchSemantics,
+    PlannerOptions,
+    SchedulingPolicy,
+    plan_query,
+)
+from repro.runtime import (
+    PgxdAsyncEngine,
+    QueryResult,
+    ResultSet,
+    run_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # engine
+    "PgxdAsyncEngine",
+    "run_query",
+    "QueryResult",
+    "ResultSet",
+    "ClusterConfig",
+    "QueryMetrics",
+    # graph
+    "GraphBuilder",
+    "PropertyGraph",
+    "DistributedGraph",
+    "EdgeBalancedRandomPartitioner",
+    "HashPartitioner",
+    "uniform_random_graph",
+    "chain_graph",
+    "load_edge_list",
+    "save_edge_list",
+    "load_json",
+    "save_json",
+    # pgql / planning
+    "parse",
+    "parse_and_validate",
+    "plan_query",
+    "PlannerOptions",
+    "MatchSemantics",
+    "SchedulingPolicy",
+    # errors
+    "ReproError",
+    "GraphError",
+    "RemoteAccessError",
+    "PgqlError",
+    "PgqlSyntaxError",
+    "PgqlValidationError",
+    "PlanError",
+    "RuntimeFault",
+    "FlowControlError",
+    "ClusterConfigError",
+]

@@ -1,0 +1,42 @@
+"""PGX.D-style computational graph analytics (bulk-synchronous model).
+
+The paper's substrate, PGX.D, is a *computational* graph analysis
+engine; PGX.D/Async layers pattern matching on top of its task and data
+management.  This subpackage supplies that computational side on the
+same simulated cluster: a Pregel-style BSP engine plus the classic
+algorithms (PageRank, SSSP, connected components, triangle counting).
+"""
+
+from repro.analytics.algorithms import (
+    DegreeCentrality,
+    HITS,
+    KCoreDecomposition,
+    LocalClusteringCoefficient,
+    PageRank,
+    SingleSourceShortestPaths,
+    TriangleCount,
+    WeaklyConnectedComponents,
+)
+from repro.analytics.bsp import (
+    AnalyticsResult,
+    BspEngine,
+    BspMachine,
+    ComputeContext,
+    VertexProgram,
+)
+
+__all__ = [
+    "BspEngine",
+    "BspMachine",
+    "VertexProgram",
+    "ComputeContext",
+    "AnalyticsResult",
+    "PageRank",
+    "SingleSourceShortestPaths",
+    "WeaklyConnectedComponents",
+    "TriangleCount",
+    "HITS",
+    "KCoreDecomposition",
+    "LocalClusteringCoefficient",
+    "DegreeCentrality",
+]

@@ -1,0 +1,334 @@
+"""Vertex programs for the PGX.D-style BSP engine.
+
+The algorithms the paper's §1-2 name as the computational side of graph
+analysis (PageRank, shortest paths) plus the triangle listing of
+Sevenich et al. [25], which the common-neighbor hop engine (§5) exists
+to serve.
+"""
+
+import operator
+
+from repro.analytics.bsp import VertexProgram
+
+
+class PageRank(VertexProgram):
+    """Classic synchronous PageRank with dangling-mass redistribution.
+
+    Runs a fixed number of iterations (like PGX's default) or stops
+    early when the global residual falls under *tolerance*.
+    """
+
+    combiner = staticmethod(operator.add)
+
+    def __init__(self, damping=0.85, iterations=20, tolerance=None):
+        self.damping = damping
+        self.iterations = iterations
+        self.tolerance = tolerance
+        self.max_supersteps = iterations + 1
+
+    def init(self, ctx, vertex):
+        rank = 1.0 / ctx.num_vertices()
+        return (rank, 0.0)  # (rank, residual contribution)
+
+    def compute(self, ctx, vertex, state, messages):
+        rank, _residual = state
+        if ctx.superstep > 0:
+            incoming = sum(messages)
+            n = ctx.num_vertices()
+            new_rank = (1.0 - self.damping) / n + self.damping * incoming
+            residual = abs(new_rank - rank)
+            rank = new_rank
+        else:
+            residual = 1.0
+        if self.tolerance is not None and ctx.superstep > 0 and \
+                ctx.previous_aggregate < self.tolerance:
+            ctx.vote_to_halt()
+            return (rank, 0.0)
+        if ctx.superstep < self.iterations:
+            degree = ctx.out_degree()
+            if degree:
+                share = rank / degree
+                for target in ctx.out_neighbors():
+                    ctx.send(int(target), share)
+            else:
+                # Dangling vertices spread their rank uniformly; modeled
+                # by sending to themselves to keep mass conserved (the
+                # standard simplification for vertex-centric PageRank).
+                ctx.send(vertex, rank)
+        else:
+            ctx.vote_to_halt()
+        return (rank, residual)
+
+    def aggregate(self, state):
+        return state[1]
+
+    def finish(self, state):
+        return state[0]
+
+
+class SingleSourceShortestPaths(VertexProgram):
+    """SSSP by distributed Bellman-Ford relaxation.
+
+    Edge weights come from *weight_prop* (or 1.0 when None).  Unreached
+    vertices finish with ``inf``.
+    """
+
+    combiner = staticmethod(min)
+    max_supersteps = 10_000
+
+    def __init__(self, source, weight_prop=None):
+        self.source = source
+        self.weight_prop = weight_prop
+
+    def init(self, ctx, vertex):
+        return 0.0 if vertex == self.source else float("inf")
+
+    def compute(self, ctx, vertex, state, messages):
+        candidate = min(messages) if messages else float("inf")
+        best = min(state, candidate)
+        if best < state or (ctx.superstep == 0 and vertex == self.source):
+            dst, edge_ids = ctx.out_edges()
+            for target, edge in zip(dst, edge_ids):
+                weight = (
+                    ctx.edge_prop(self.weight_prop, int(edge))
+                    if self.weight_prop
+                    else 1.0
+                )
+                ctx.send(int(target), best + weight)
+        ctx.vote_to_halt()
+        return best
+
+
+class WeaklyConnectedComponents(VertexProgram):
+    """Label propagation of the minimum vertex id over both directions."""
+
+    combiner = staticmethod(min)
+    max_supersteps = 10_000
+
+    def init(self, ctx, vertex):
+        return vertex
+
+    def compute(self, ctx, vertex, state, messages):
+        candidate = min(messages) if messages else state
+        best = min(state, candidate)
+        if best < state or ctx.superstep == 0:
+            for target in ctx.out_neighbors():
+                ctx.send(int(target), best)
+            for target in ctx.in_neighbors():
+                ctx.send(int(target), best)
+        ctx.vote_to_halt()
+        return best
+
+
+class TriangleCount(VertexProgram):
+    """Distributed triangle counting after Sevenich et al. [25].
+
+    The graph is treated as undirected and simple.  Edges are oriented
+    from the lower to the higher vertex id; in superstep 0 every vertex
+    sends its higher-id neighbor set to each of those neighbors, which
+    then intersect it with their own higher-id neighborhood.  Each
+    triangle is counted exactly once (at its middle vertex).  The total
+    is the sum over vertices (``AnalyticsResult.values``) or the final
+    global aggregate.
+    """
+
+    max_supersteps = 3
+
+    def init(self, ctx, vertex):
+        return 0
+
+    def _higher_neighbors(self, ctx, vertex):
+        neighbors = set()
+        for target in ctx.out_neighbors():
+            if int(target) > vertex:
+                neighbors.add(int(target))
+        for target in ctx.in_neighbors():
+            if int(target) > vertex:
+                neighbors.add(int(target))
+        return neighbors
+
+    def compute(self, ctx, vertex, state, messages):
+        if ctx.superstep == 0:
+            higher = self._higher_neighbors(ctx, vertex)
+            payload = tuple(sorted(higher))
+            for target in higher:
+                ctx.send(target, payload)
+            ctx.vote_to_halt()
+            return 0
+        mine = self._higher_neighbors(ctx, vertex)
+        count = state
+        for payload in messages:
+            for candidate in payload:
+                if candidate in mine:
+                    count += 1
+        ctx.vote_to_halt()
+        return count
+
+    def aggregate(self, state):
+        return state
+
+
+class HITS(VertexProgram):
+    """Hyperlink-Induced Topic Search (hub and authority scores).
+
+    Alternating power iteration: authorities accumulate hub scores over
+    in-edges, hubs accumulate authority scores over out-edges, with a
+    global L2 normalization via the aggregator each round.
+    """
+
+    combiner = staticmethod(operator.add)
+
+    def __init__(self, iterations=20):
+        self.iterations = iterations
+        self.max_supersteps = 2 * iterations + 1
+
+    def init(self, ctx, vertex):
+        return (1.0, 1.0)  # (hub, authority)
+
+    def compute(self, ctx, vertex, state, messages):
+        hub, authority = state
+        step = ctx.superstep
+        norm = ctx.previous_aggregate ** 0.5 if step > 0 else 1.0
+        if step >= 2 * self.iterations:
+            ctx.vote_to_halt()
+            if norm:
+                if step % 2 == 1:
+                    authority = sum(messages) / norm if messages else 0.0
+            return (hub, authority)
+        if step % 2 == 0:
+            # Authority phase result arrives next step; send hub scores.
+            if step > 0 and norm:
+                hub = (sum(messages) / norm) if messages else 0.0
+            for target in ctx.out_neighbors():
+                ctx.send(int(target), hub)
+        else:
+            if norm:
+                authority = (sum(messages) / norm) if messages else 0.0
+            for target in ctx.in_neighbors():
+                ctx.send(int(target), authority)
+        return (hub, authority)
+
+    def aggregate(self, state):
+        # Normalization constant for the score updated last step.
+        return state[0] ** 2 + state[1] ** 2
+
+    def finish(self, state):
+        return state
+
+
+class KCoreDecomposition(VertexProgram):
+    """Iterative peeling: each vertex converges to its coreness.
+
+    Every vertex maintains an estimate (initialized to its undirected
+    degree) and repeatedly recomputes: the largest k such that at least
+    k neighbors have an estimate of at least k — a classic distributed
+    k-core algorithm; monotone decreasing, so it converges.
+    """
+
+    max_supersteps = 10_000
+
+    def init(self, ctx, vertex):
+        return None  # filled in at superstep 0
+
+    def _neighbors(self, ctx, vertex):
+        neighbors = set()
+        for target in ctx.out_neighbors():
+            if int(target) != vertex:
+                neighbors.add(int(target))
+        for target in ctx.in_neighbors():
+            if int(target) != vertex:
+                neighbors.add(int(target))
+        return sorted(neighbors)
+
+    def compute(self, ctx, vertex, state, messages):
+        neighbors = self._neighbors(ctx, vertex)
+        if ctx.superstep == 0:
+            estimate = len(neighbors)
+            known = {}
+        else:
+            estimate, known = state
+            for neighbor, value in messages:
+                known[neighbor] = min(value, known.get(neighbor, value))
+        # Largest k with >= k neighbors whose estimate >= k.
+        values = sorted(
+            (known.get(neighbor, len(neighbors) + 1)
+             for neighbor in neighbors),
+            reverse=True,
+        )
+        new_estimate = 0
+        for index, value in enumerate(values, start=1):
+            if value >= index:
+                new_estimate = index
+            else:
+                break
+        new_estimate = min(new_estimate, estimate)
+        if ctx.superstep == 0 or new_estimate < estimate:
+            for neighbor in neighbors:
+                ctx.send(neighbor, (vertex, new_estimate))
+        ctx.vote_to_halt()
+        return (new_estimate, known)
+
+    def finish(self, state):
+        return state[0]
+
+
+class LocalClusteringCoefficient(VertexProgram):
+    """Per-vertex clustering coefficient on the underlying simple graph.
+
+    Reuses the neighbor-set exchange of triangle counting: each vertex
+    ships its neighbor set to its neighbors, which count how many of
+    their own neighbors appear in it; the coefficient is the closed
+    wedge fraction ``2T / (d * (d - 1))``.
+    """
+
+    max_supersteps = 3
+
+    def init(self, ctx, vertex):
+        return 0.0
+
+    def _neighbors(self, ctx, vertex):
+        neighbors = set()
+        for target in ctx.out_neighbors():
+            if int(target) != vertex:
+                neighbors.add(int(target))
+        for target in ctx.in_neighbors():
+            if int(target) != vertex:
+                neighbors.add(int(target))
+        return neighbors
+
+    def compute(self, ctx, vertex, state, messages):
+        mine = self._neighbors(ctx, vertex)
+        if ctx.superstep == 0:
+            payload = tuple(sorted(mine))
+            for target in mine:
+                ctx.send(target, payload)
+            ctx.vote_to_halt()
+            return 0.0
+        links = 0
+        for payload in messages:
+            for candidate in payload:
+                if candidate in mine:
+                    links += 1
+        degree = len(mine)
+        ctx.vote_to_halt()
+        if degree < 2:
+            return 0.0
+        # Each triangle edge is reported twice (once per neighbor pair).
+        return links / (degree * (degree - 1))
+
+
+class DegreeCentrality(VertexProgram):
+    """Trivial one-superstep program: out-degree per vertex.
+
+    Mostly useful as the smallest possible vertex program in tests and
+    as a template for custom analytics.
+    """
+
+    max_supersteps = 1
+
+    def init(self, ctx, vertex):
+        return 0
+
+    def compute(self, ctx, vertex, state, messages):
+        ctx.vote_to_halt()
+        return ctx.out_degree()

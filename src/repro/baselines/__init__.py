@@ -1,0 +1,15 @@
+"""Baseline engines the paper (or its ablations) compare against:
+
+* :class:`SharedMemoryEngine` — single-machine PGX stand-in (Figure 5's
+  normalization baseline) and correctness oracle;
+* :class:`BftEngine` — level-synchronous breadth-first evaluation, the
+  "BFT" strategy of §2;
+* :class:`JoinEngine` — eager relational joins over binding tables, the
+  GraphFrames-style strategy of §2.
+"""
+
+from repro.baselines.bft_engine import BftEngine
+from repro.baselines.join_engine import JoinEngine
+from repro.baselines.single_machine import SharedMemoryEngine
+
+__all__ = ["SharedMemoryEngine", "BftEngine", "JoinEngine"]

@@ -1,0 +1,176 @@
+"""Command-line interface: query and analyze graphs from the shell.
+
+Usage examples::
+
+    python -m repro query --random 1000x5000 --machines 4 \\
+        "SELECT a, b WHERE (a)-[]->(b), a.value > b.value" --limit-print 10
+
+    python -m repro query --graph data/graph.json --explain \\
+        "SELECT COUNT(*) WHERE (a)-[:friend]->(b)"
+
+    python -m repro analyze --random 1000x5000 pagerank --iterations 20
+
+    python -m repro analyze --bsbm 500 wcc
+"""
+
+import argparse
+import sys
+
+from repro.cluster.config import ClusterConfig
+from repro.graph import load_edge_list, load_json, uniform_random_graph
+from repro.plan import MatchSemantics, PlannerOptions, SchedulingPolicy
+from repro.runtime import PgxdAsyncEngine
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PGX.D/Async reproduction: distributed graph pattern "
+                    "matching on a simulated cluster",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query = subparsers.add_parser("query", help="run a PGQL query")
+    _add_graph_args(query)
+    query.add_argument("pgql", help="the PGQL query text")
+    query.add_argument("--semantics", default="homomorphism",
+                       choices=[s.value for s in MatchSemantics])
+    query.add_argument("--schedule", action="store_true",
+                       help="enable selectivity-based vertex ordering")
+    query.add_argument("--common-neighbors", action="store_true",
+                       help="enable the specialized common-neighbor hop")
+    query.add_argument("--explain", action="store_true",
+                       help="print the stage plan instead of executing")
+    query.add_argument("--limit-print", type=int, default=20,
+                       help="max rows to print (default 20)")
+
+    analyze = subparsers.add_parser("analyze", help="run a BSP algorithm")
+    _add_graph_args(analyze)
+    analyze.add_argument(
+        "algorithm",
+        choices=["pagerank", "wcc", "sssp", "triangles", "degree"],
+    )
+    analyze.add_argument("--iterations", type=int, default=20,
+                         help="pagerank iterations")
+    analyze.add_argument("--source", type=int, default=0,
+                         help="sssp source vertex")
+    analyze.add_argument("--top", type=int, default=10,
+                         help="print the top-N vertices")
+    return parser
+
+
+def _add_graph_args(sub):
+    source = sub.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", metavar="PATH",
+                        help="graph file (.json or edge list)")
+    source.add_argument("--random", metavar="VxE",
+                        help="uniform random graph, e.g. 1000x5000")
+    source.add_argument("--bsbm", type=int, metavar="PRODUCTS",
+                        help="BSBM-like e-commerce graph")
+    sub.add_argument("--machines", type=int, default=4)
+    sub.add_argument("--workers", type=int, default=4)
+    sub.add_argument("--seed", type=int, default=0)
+    sub.add_argument("--ghost-threshold", type=int, default=None,
+                     help="replicate vertices with total degree >= N "
+                          "(PGX.D ghost nodes; off by default)")
+
+
+def load_graph(args):
+    if args.graph:
+        if args.graph.endswith(".json"):
+            return load_json(args.graph)
+        return load_edge_list(args.graph)
+    if args.random:
+        try:
+            vertices, edges = (int(part) for part in args.random.split("x"))
+        except ValueError:
+            raise SystemExit("--random expects VxE, e.g. 1000x5000")
+        return uniform_random_graph(vertices, edges, seed=args.seed)
+    from repro.workloads import generate_bsbm
+
+    return generate_bsbm(args.bsbm, seed=args.seed).graph
+
+
+def cmd_query(args):
+    graph = load_graph(args)
+    config = ClusterConfig(num_machines=args.machines,
+                           workers_per_machine=args.workers)
+    options = PlannerOptions(
+        semantics=MatchSemantics(args.semantics),
+        scheduling=(
+            SchedulingPolicy.SELECTIVITY
+            if args.schedule
+            else SchedulingPolicy.APPEARANCE
+        ),
+        use_common_neighbors=args.common_neighbors,
+    )
+    if args.ghost_threshold is not None:
+        from repro.graph import DistributedGraph
+
+        graph = DistributedGraph.create(
+            graph, config.num_machines,
+            ghost_threshold=args.ghost_threshold,
+        )
+    engine = PgxdAsyncEngine(graph, config)
+    if args.explain:
+        plan = engine.plan(args.pgql, options)
+        print(plan.describe())
+        return 0
+    result = engine.query(args.pgql, options)
+    print(result.result_set.pretty(limit=args.limit_print))
+    print()
+    print("rows     :", len(result.rows))
+    print("metrics  :", result.metrics.summary())
+    return 0
+
+
+def cmd_analyze(args):
+    from repro.analytics import (
+        BspEngine,
+        DegreeCentrality,
+        PageRank,
+        SingleSourceShortestPaths,
+        TriangleCount,
+        WeaklyConnectedComponents,
+    )
+
+    graph = load_graph(args)
+    config = ClusterConfig(num_machines=args.machines,
+                           workers_per_machine=args.workers)
+    engine = BspEngine(graph, config)
+
+    programs = {
+        "pagerank": lambda: PageRank(iterations=args.iterations),
+        "wcc": WeaklyConnectedComponents,
+        "sssp": lambda: SingleSourceShortestPaths(args.source),
+        "triangles": TriangleCount,
+        "degree": DegreeCentrality,
+    }
+    result = engine.run(programs[args.algorithm]())
+
+    if args.algorithm == "triangles":
+        print("triangles:", sum(result.values.values()))
+    elif args.algorithm == "wcc":
+        labels = set(result.values.values())
+        print("components:", len(labels))
+    else:
+        ranked = sorted(result.values.items(), key=lambda kv: kv[1],
+                        reverse=(args.algorithm != "sssp"))
+        print("top %d vertices:" % args.top)
+        for vertex, value in ranked[: args.top]:
+            print("  %8d  %s" % (vertex, value))
+    print()
+    print("supersteps:", result.supersteps)
+    print("metrics   :", result.metrics.summary())
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.command == "query":
+        return cmd_query(args)
+    return cmd_analyze(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Simulated PGX.D-style cluster: machines, workers, network, clock."""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.metrics import MachineMetrics, QueryMetrics
+from repro.cluster.network import Envelope, Network
+from repro.cluster.simulator import MachineAPI, MachineInterface, Simulator
+from repro.cluster.tasks import CallbackTask, Task, TaskQueue, TaskState
+
+__all__ = [
+    "ClusterConfig",
+    "MachineMetrics",
+    "QueryMetrics",
+    "Network",
+    "Envelope",
+    "Simulator",
+    "MachineAPI",
+    "MachineInterface",
+    "Task",
+    "CallbackTask",
+    "TaskQueue",
+    "TaskState",
+]

@@ -1,0 +1,104 @@
+"""Execution metrics collected by the simulator.
+
+``MachineMetrics`` counts events on one simulated machine;
+``QueryMetrics`` aggregates them with the global clock into the record a
+benchmark reports.  Peak trackers implement the memory-bound claims of
+the paper: ``peak_buffered_contexts`` is the quantity flow control is
+supposed to keep below the configured budget.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MachineMetrics:
+    """Per-machine counters (all monotone except the ``cur_*`` gauges)."""
+
+    ops: int = 0
+    idle_ticks: int = 0
+    work_messages_sent: int = 0
+    contexts_sent: int = 0
+    control_messages_sent: int = 0
+    results_emitted: int = 0
+    flow_control_blocks: int = 0
+    quota_requests: int = 0
+    quota_granted: int = 0
+    ghost_prunes: int = 0
+
+    # Gauges and their high-water marks.
+    cur_buffered_contexts: int = 0
+    peak_buffered_contexts: int = 0
+    cur_live_frames: int = 0
+    peak_live_frames: int = 0
+
+    def buffered_delta(self, delta):
+        """Adjust the buffered-context gauge (inbox + parked + outgoing)."""
+        self.cur_buffered_contexts += delta
+        if self.cur_buffered_contexts > self.peak_buffered_contexts:
+            self.peak_buffered_contexts = self.cur_buffered_contexts
+
+    def frames_delta(self, delta):
+        self.cur_live_frames += delta
+        if self.cur_live_frames > self.peak_live_frames:
+            self.peak_live_frames = self.cur_live_frames
+
+
+@dataclass
+class QueryMetrics:
+    """Aggregated outcome of one simulated query execution."""
+
+    ticks: int = 0
+    num_machines: int = 0
+    total_ops: int = 0
+    total_idle_ticks: int = 0
+    work_messages: int = 0
+    contexts_shipped: int = 0
+    control_messages: int = 0
+    num_results: int = 0
+    peak_buffered_contexts: int = 0
+    peak_live_frames: int = 0
+    flow_control_blocks: int = 0
+    quota_requests: int = 0
+    quota_granted: int = 0
+    ghost_prunes: int = 0
+    wall_time_seconds: float = 0.0
+    per_machine: list = field(default_factory=list)
+
+    @classmethod
+    def collect(cls, ticks, machine_metrics, wall_time_seconds=0.0):
+        """Fold per-machine counters into one record."""
+        metrics = cls(ticks=ticks, num_machines=len(machine_metrics),
+                      wall_time_seconds=wall_time_seconds)
+        for machine in machine_metrics:
+            metrics.total_ops += machine.ops
+            metrics.total_idle_ticks += machine.idle_ticks
+            metrics.work_messages += machine.work_messages_sent
+            metrics.contexts_shipped += machine.contexts_sent
+            metrics.control_messages += machine.control_messages_sent
+            metrics.num_results += machine.results_emitted
+            metrics.flow_control_blocks += machine.flow_control_blocks
+            metrics.quota_requests += machine.quota_requests
+            metrics.quota_granted += machine.quota_granted
+            metrics.ghost_prunes += machine.ghost_prunes
+            metrics.peak_buffered_contexts = max(
+                metrics.peak_buffered_contexts, machine.peak_buffered_contexts
+            )
+            metrics.peak_live_frames = max(
+                metrics.peak_live_frames, machine.peak_live_frames
+            )
+        metrics.per_machine = list(machine_metrics)
+        return metrics
+
+    def summary(self):
+        """One-line human summary, used by examples and benchmarks."""
+        return (
+            "ticks=%d results=%d msgs=%d ctxs=%d peak_buf=%d peak_frames=%d"
+            % (
+                self.ticks,
+                self.num_results,
+                self.work_messages,
+                self.contexts_shipped,
+                self.peak_buffered_contexts,
+                self.peak_live_frames,
+            )
+        )

@@ -1,0 +1,93 @@
+"""Simulated interconnect.
+
+Messages handed to the network on tick *t* are delivered on tick
+``t + latency + payload_size // bandwidth``.  Delivery is FIFO per
+directed (source, destination) channel — the termination protocol relies
+on a machine's ``COMPLETED`` notification never overtaking its earlier
+work messages on the same channel, which matches the ordered reliable
+transport (InfiniBand RC) the paper's messaging library runs on.
+"""
+
+import heapq
+import itertools
+
+
+class Envelope:
+    """A message in flight."""
+
+    __slots__ = ("src", "dst", "payload", "deliver_at", "size")
+
+    def __init__(self, src, dst, payload, deliver_at, size):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.deliver_at = deliver_at
+        self.size = size
+
+
+class Network:
+    """Latency/bandwidth network model with per-channel FIFO delivery.
+
+    *sender_rate* models NIC serialization at the source: one machine
+    can inject at most that many messages per tick, so all-to-all
+    exchanges (e.g. the termination protocol's COMPLETED broadcasts)
+    get slower as the cluster grows — matching the paper's observation
+    that tiny-query overhead increases with the machine count.
+    """
+
+    def __init__(self, latency=0, bandwidth=0, sender_rate=8):
+        self._latency = latency
+        self._bandwidth = bandwidth
+        self._sender_cost = 1.0 / sender_rate if sender_rate else 0.0
+        self._heap = []
+        self._sequence = itertools.count()
+        # Last scheduled delivery tick per (src, dst), for FIFO enforcement.
+        self._channel_clock = {}
+        # Earliest tick each source NIC is free to inject the next message.
+        self._source_clock = {}
+        self.messages_delivered = 0
+
+    def __len__(self):
+        """Messages currently in flight."""
+        return len(self._heap)
+
+    def send(self, now, src, dst, payload, size=0):
+        """Queue *payload* from *src* to *dst*; returns the delivery tick."""
+        transfer = size // self._bandwidth if self._bandwidth else 0
+        inject_at = max(now, self._source_clock.get(src, 0))
+        self._source_clock[src] = inject_at + self._sender_cost
+        deliver_at = inject_at + self._latency + transfer
+        channel = (src, dst)
+        previous = self._channel_clock.get(channel, -1)
+        if deliver_at <= previous:
+            deliver_at = previous  # keep FIFO order; ties break by sequence
+        self._channel_clock[channel] = deliver_at
+        heapq.heappush(
+            self._heap,
+            (deliver_at, next(self._sequence),
+             Envelope(src, dst, payload, deliver_at, size)),
+        )
+        return deliver_at
+
+    def deliver_due(self, now):
+        """Pop and return all envelopes due at or before tick *now*.
+
+        Envelopes come out in (delivery tick, send order) — deterministic.
+        """
+        due = []
+        while self._heap and self._heap[0][0] <= now:
+            _, _, envelope = heapq.heappop(self._heap)
+            due.append(envelope)
+        self.messages_delivered += len(due)
+        return due
+
+    def next_delivery_tick(self):
+        """Tick of the earliest in-flight envelope, or None when empty.
+
+        Rounded up to an integer tick so the simulator clock stays whole.
+        """
+        if not self._heap:
+            return None
+        import math
+
+        return int(math.ceil(self._heap[0][0]))

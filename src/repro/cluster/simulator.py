@@ -1,0 +1,141 @@
+"""The discrete-time cluster simulator.
+
+The simulator owns a set of *machine* objects (anything implementing the
+small :class:`MachineInterface` protocol), the :class:`Network`, and the
+global clock.  On each tick it first delivers due network messages, then
+gives every worker of every machine an operation budget.  The run ends
+when every machine reports completion and no messages are in flight.
+
+Machines talk to the outside world exclusively through the
+:class:`MachineAPI` handle they are given, which tags network traffic
+with the current tick — machines never see the simulator itself.
+"""
+
+import time
+
+from repro.cluster.metrics import QueryMetrics
+from repro.cluster.network import Network
+from repro.errors import RuntimeFault
+
+
+class MachineInterface:
+    """Protocol the simulator drives.  Machines subclass or duck-type it."""
+
+    def on_message(self, src, payload):
+        """Handle a delivered network payload."""
+        raise NotImplementedError
+
+    def worker_step(self, worker_index, budget):
+        """Run one worker for up to *budget* micro-ops; return ops used."""
+        raise NotImplementedError
+
+    def is_finished(self):
+        """True when this machine considers the computation complete."""
+        raise NotImplementedError
+
+    @property
+    def metrics(self):
+        raise NotImplementedError
+
+
+class MachineAPI:
+    """Capability handle machines use to reach the network and the clock."""
+
+    def __init__(self, simulator, machine_id):
+        self._simulator = simulator
+        self.machine_id = machine_id
+
+    @property
+    def now(self):
+        return self._simulator.now
+
+    @property
+    def num_machines(self):
+        return self._simulator.num_machines
+
+    def send(self, dst, payload, size=0):
+        if dst == self.machine_id:
+            raise RuntimeFault("machine %d sent a message to itself" % dst)
+        self._simulator.network.send(
+            self._simulator.now, self.machine_id, dst, payload, size
+        )
+
+
+class Simulator:
+    """Drives machines tick by tick until global completion."""
+
+    def __init__(self, config):
+        self._config = config
+        self.network = Network(
+            latency=config.network_latency,
+            bandwidth=config.network_bandwidth,
+            sender_rate=config.sender_messages_per_tick,
+        )
+        self.now = 0
+        self._machines = []
+
+    @property
+    def num_machines(self):
+        return self._config.num_machines
+
+    @property
+    def config(self):
+        return self._config
+
+    def api_for(self, machine_id):
+        """The capability handle for machine *machine_id*."""
+        return MachineAPI(self, machine_id)
+
+    def attach(self, machines):
+        """Register the machine objects (must match config.num_machines)."""
+        if len(machines) != self._config.num_machines:
+            raise RuntimeFault(
+                "expected %d machines, got %d"
+                % (self._config.num_machines, len(machines))
+            )
+        self._machines = list(machines)
+
+    def run(self):
+        """Run to completion; returns a :class:`QueryMetrics`."""
+        config = self._config
+        machines = self._machines
+        if not machines:
+            raise RuntimeFault("no machines attached")
+        started = time.perf_counter()
+        workers = config.workers_per_machine
+        budget = config.ops_per_tick
+        while True:
+            for envelope in self.network.deliver_due(self.now):
+                machines[envelope.dst].on_message(envelope.src, envelope.payload)
+
+            all_idle = True
+            for machine in machines:
+                for worker_index in range(workers):
+                    used = machine.worker_step(worker_index, budget)
+                    if used:
+                        all_idle = False
+
+            if all(machine.is_finished() for machine in machines):
+                if len(self.network) == 0:
+                    break
+            if all_idle and len(self.network):
+                # Nothing to do until the next delivery: fast-forward.
+                self.now = self.network.next_delivery_tick()
+                continue
+            if all_idle and len(self.network) == 0:
+                if all(machine.is_finished() for machine in machines):
+                    break
+                raise RuntimeFault(
+                    "simulation deadlock at tick %d: all machines idle, "
+                    "no messages in flight, not finished" % self.now
+                )
+            self.now += 1
+            if self.now > config.max_ticks:
+                raise RuntimeFault("simulation exceeded max_ticks")
+
+        wall = time.perf_counter() - started
+        return QueryMetrics.collect(
+            self.now,
+            [machine.metrics for machine in machines],
+            wall_time_seconds=wall,
+        )

@@ -1,0 +1,73 @@
+"""PGX.D-style task plumbing.
+
+PGX.D executes computations as coarse-grained *tasks* placed in per-
+machine task queues by the task manager; PGX.D/Async uses exactly two of
+them (paper §3.3): a **bootstrap** task that seeds stage 0, and an
+**await-completion** task that keeps handling asynchronous messages until
+every machine finishes the query.  This module keeps that structure
+visible: the runtime machines enqueue these two tasks and the simulator's
+workers drain them, while all fine-grained work happens inside the
+await-completion task's ``DOWORK`` loop.
+"""
+
+import enum
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+
+
+class Task:
+    """A coarse unit of machine work.
+
+    ``poll(worker, budget)`` performs up to *budget* micro-ops and returns
+    the number consumed; the task flips itself to DONE when finished.
+    """
+
+    name = "task"
+
+    def __init__(self):
+        self.state = TaskState.PENDING
+
+    def poll(self, worker, budget):
+        raise NotImplementedError
+
+
+class CallbackTask(Task):
+    """Adapts a ``poll(worker, budget) -> (ops, done)`` callable."""
+
+    def __init__(self, name, poll_func):
+        super().__init__()
+        self.name = name
+        self._poll_func = poll_func
+
+    def poll(self, worker, budget):
+        self.state = TaskState.RUNNING
+        ops, done = self._poll_func(worker, budget)
+        if done:
+            self.state = TaskState.DONE
+        return ops
+
+
+class TaskQueue:
+    """Per-machine FIFO of coarse tasks; workers poll the head task.
+
+    All workers of a machine cooperate on the head task (PGX.D tasks are
+    data-parallel); the queue advances when the head completes.
+    """
+
+    def __init__(self):
+        self._tasks = []
+
+    def push(self, task):
+        self._tasks.append(task)
+
+    def head(self):
+        while self._tasks and self._tasks[0].state is TaskState.DONE:
+            self._tasks.pop(0)
+        return self._tasks[0] if self._tasks else None
+
+    def __len__(self):
+        return sum(1 for task in self._tasks if task.state is not TaskState.DONE)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the PGX.D/Async reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Base class for graph construction and access errors."""
+
+
+class UnknownPropertyError(GraphError):
+    """A vertex or edge property name does not exist in the schema."""
+
+    def __init__(self, kind, name):
+        self.kind = kind
+        self.name = name
+        super().__init__("unknown %s property: %r" % (kind, name))
+
+
+class PropertyTypeError(GraphError):
+    """A property value does not match the declared property type."""
+
+
+class InvalidVertexError(GraphError):
+    """A vertex id is out of range or not valid in the current graph."""
+
+
+class InvalidEdgeError(GraphError):
+    """An edge id is out of range or not valid in the current graph."""
+
+
+class RemoteAccessError(GraphError):
+    """A machine attempted to read data owned by a different machine.
+
+    The distributed runtime must never touch remote vertex properties or
+    adjacency directly; it has to ship the computation context instead.
+    This error surfaces planner or runtime bugs that violate that rule.
+    """
+
+
+class PgqlError(ReproError):
+    """Base class for PGQL front-end errors."""
+
+
+class PgqlSyntaxError(PgqlError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message, position=None):
+        self.position = position
+        if position is not None:
+            message = "%s (at offset %d)" % (message, position)
+        super().__init__(message)
+
+
+class PgqlValidationError(PgqlError):
+    """The query parsed but is semantically invalid (unknown variable,
+    type mismatch, aggregate misuse, ...)."""
+
+
+class PlanError(ReproError):
+    """Query planning failed (disconnected pattern, unsupported shape, ...)."""
+
+
+class RuntimeFault(ReproError):
+    """The distributed runtime reached an inconsistent state."""
+
+
+class FlowControlError(RuntimeFault):
+    """Flow-control invariants were violated (negative counter, ...)."""
+
+
+class ClusterConfigError(ReproError):
+    """Invalid cluster simulator configuration."""

@@ -1,0 +1,53 @@
+"""Property-graph substrate: storage, partitioning, generation, I/O."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.distributed import DistributedGraph, LocalPartition
+from repro.graph.generators import (
+    chain_graph,
+    complete_graph,
+    power_law_graph,
+    star_graph,
+    uniform_random_graph,
+)
+from repro.graph.graph import PropertyGraph
+from repro.graph.loaders import (
+    graph_from_dict,
+    graph_to_dict,
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+)
+from repro.graph.partition import (
+    BlockPartitioner,
+    EdgeBalancedRandomPartitioner,
+    HashPartitioner,
+    Partition,
+)
+from repro.graph.types import NO_LABEL, Direction, LabelDictionary, PropertyType
+
+__all__ = [
+    "GraphBuilder",
+    "PropertyGraph",
+    "DistributedGraph",
+    "LocalPartition",
+    "Partition",
+    "EdgeBalancedRandomPartitioner",
+    "HashPartitioner",
+    "BlockPartitioner",
+    "Direction",
+    "PropertyType",
+    "LabelDictionary",
+    "NO_LABEL",
+    "uniform_random_graph",
+    "chain_graph",
+    "star_graph",
+    "complete_graph",
+    "power_law_graph",
+    "load_edge_list",
+    "save_edge_list",
+    "load_json",
+    "save_json",
+    "graph_from_dict",
+    "graph_to_dict",
+]

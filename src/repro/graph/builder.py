@@ -1,0 +1,196 @@
+"""Mutable graph builder producing immutable ``PropertyGraph`` instances.
+
+Typical use::
+
+    builder = GraphBuilder()
+    alice = builder.add_vertex(label="person", age=31)
+    bob = builder.add_vertex(label="person", age=29)
+    builder.add_edge(alice, bob, label="friend", since=2015)
+    graph = builder.build()
+
+Property types are inferred from the first value seen for each property
+name; later values must coerce to the same type.  Vertices and edges that
+never set a property observe the type's default value (0 / 0.0 / "" /
+False), mirroring how PGX materializes dense property arrays.
+"""
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import PropertyGraph
+from repro.graph.property_table import PropertyTable
+from repro.graph.types import NO_LABEL, LabelDictionary, PropertyType
+
+
+class GraphBuilder:
+    """Accumulates vertices/edges and finalizes them into CSR form."""
+
+    def __init__(self):
+        self._labels = LabelDictionary()
+        self._vertex_labels = []
+        self._edge_src = []
+        self._edge_dst = []
+        self._edge_labels = []
+        # property name -> (ptype, {entity index: value})
+        self._vertex_prop_values = {}
+        self._edge_prop_values = {}
+        self._built = False
+
+    @property
+    def num_vertices(self):
+        return len(self._vertex_labels)
+
+    @property
+    def num_edges(self):
+        return len(self._edge_src)
+
+    def add_vertex(self, label=None, **props):
+        """Append a vertex; returns its dense id."""
+        self._check_not_built()
+        vertex = len(self._vertex_labels)
+        label_id = NO_LABEL if label is None else self._labels.intern(label)
+        self._vertex_labels.append(label_id)
+        for name, value in props.items():
+            self._record_prop(self._vertex_prop_values, name, vertex, value)
+        return vertex
+
+    def add_vertices(self, count, label=None):
+        """Append *count* unpropertied vertices; returns a range of their ids."""
+        self._check_not_built()
+        start = len(self._vertex_labels)
+        label_id = NO_LABEL if label is None else self._labels.intern(label)
+        self._vertex_labels.extend([label_id] * count)
+        return range(start, start + count)
+
+    def set_vertex_prop(self, vertex, name, value):
+        self._check_not_built()
+        if not 0 <= vertex < self.num_vertices:
+            raise GraphError("set_vertex_prop on unknown vertex %r" % (vertex,))
+        self._record_prop(self._vertex_prop_values, name, vertex, value)
+
+    def add_edge(self, src, dst, label=None, **props):
+        """Append a directed edge ``src -> dst``; returns its pre-build index.
+
+        Edge ids are renumbered into CSR order at build time, so the
+        returned index is only valid for ``set_edge_prop`` before ``build``.
+        """
+        self._check_not_built()
+        num_vertices = self.num_vertices
+        if not 0 <= src < num_vertices or not 0 <= dst < num_vertices:
+            raise GraphError("edge endpoint out of range: %r -> %r" % (src, dst))
+        edge = len(self._edge_src)
+        self._edge_src.append(src)
+        self._edge_dst.append(dst)
+        label_id = NO_LABEL if label is None else self._labels.intern(label)
+        self._edge_labels.append(label_id)
+        for name, value in props.items():
+            self._record_prop(self._edge_prop_values, name, edge, value)
+        return edge
+
+    def set_edge_prop(self, edge, name, value):
+        self._check_not_built()
+        if not 0 <= edge < self.num_edges:
+            raise GraphError("set_edge_prop on unknown edge %r" % (edge,))
+        self._record_prop(self._edge_prop_values, name, edge, value)
+
+    def build(self):
+        """Finalize into an immutable ``PropertyGraph``.
+
+        The builder is single-use; calling ``build`` twice raises.
+        """
+        self._check_not_built()
+        self._built = True
+
+        num_vertices = self.num_vertices
+        num_edges = self.num_edges
+        src = np.asarray(self._edge_src, dtype=np.int64).reshape(num_edges)
+        dst = np.asarray(self._edge_dst, dtype=np.int64).reshape(num_edges)
+
+        # Out-CSR: stable sort edges by (src, dst); edge id == sorted position.
+        out_order = np.lexsort((dst, src)) if num_edges else np.empty(0, np.int64)
+        out_dst = dst[out_order]
+        edge_src_sorted = src[out_order]
+        out_offsets = _offsets_from_sorted(edge_src_sorted, num_vertices)
+        out_edge_ids = np.arange(num_edges, dtype=np.int64)
+
+        # In-CSR: sort the renumbered edges by (dst, src).
+        in_order = (
+            np.lexsort((edge_src_sorted, out_dst))
+            if num_edges
+            else np.empty(0, np.int64)
+        )
+        in_src = edge_src_sorted[in_order]
+        in_offsets = _offsets_from_sorted(out_dst[in_order], num_vertices)
+        in_edge_ids = in_order.astype(np.int64)
+
+        vertex_labels = None
+        if any(label != NO_LABEL for label in self._vertex_labels):
+            vertex_labels = np.asarray(self._vertex_labels, dtype=np.int32)
+        edge_labels = None
+        if any(label != NO_LABEL for label in self._edge_labels):
+            edge_labels_orig = np.asarray(self._edge_labels, dtype=np.int32)
+            edge_labels = edge_labels_orig[out_order]
+
+        vertex_props = _materialize_table("vertex", num_vertices,
+                                          self._vertex_prop_values, None)
+        edge_props = _materialize_table("edge", num_edges,
+                                        self._edge_prop_values, out_order)
+
+        return PropertyGraph(
+            num_vertices=num_vertices,
+            out_offsets=out_offsets,
+            out_dst=out_dst,
+            out_edge_ids=out_edge_ids,
+            in_offsets=in_offsets,
+            in_src=in_src,
+            in_edge_ids=in_edge_ids,
+            edge_src=edge_src_sorted,
+            edge_dst=out_dst,
+            vertex_labels=vertex_labels,
+            edge_labels=edge_labels,
+            vertex_props=vertex_props,
+            edge_props=edge_props,
+            label_dict=self._labels,
+        )
+
+    # ------------------------------------------------------------------
+    def _record_prop(self, table, name, index, value):
+        entry = table.get(name)
+        if entry is None:
+            ptype = PropertyType.infer(value)
+            entry = (ptype, {})
+            table[name] = entry
+        ptype, values = entry
+        values[index] = ptype.coerce(value)
+
+    def _check_not_built(self):
+        if self._built:
+            raise GraphError("GraphBuilder already built; create a new one")
+
+
+def _offsets_from_sorted(sorted_keys, num_buckets):
+    """CSR offsets (len ``num_buckets + 1``) from an ascending key array."""
+    counts = np.bincount(sorted_keys, minlength=num_buckets) \
+        if len(sorted_keys) else np.zeros(num_buckets, dtype=np.int64)
+    offsets = np.zeros(num_buckets + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+def _materialize_table(kind, size, prop_values, order):
+    """Turn sparse {index: value} maps into dense columns.
+
+    *order*, when given, renumbers entities: new index i holds the value of
+    original index ``order[i]`` (used for edges after CSR sorting).
+    """
+    table = PropertyTable(kind, size)
+    inverse = None
+    if order is not None and len(order):
+        inverse = np.empty(len(order), dtype=np.int64)
+        inverse[order] = np.arange(len(order), dtype=np.int64)
+    for name, (ptype, values) in prop_values.items():
+        column = table.add_column(name, ptype)
+        for index, value in values.items():
+            new_index = index if inverse is None else int(inverse[index])
+            column.set(new_index, value)
+    return table

@@ -1,0 +1,158 @@
+"""Columnar property storage for vertices and edges.
+
+Numeric and boolean columns are numpy arrays; string columns are interned
+through a per-column dictionary with an integer code array, which keeps
+row access O(1) while deduplicating the (typically highly repetitive)
+string payloads of generated benchmark graphs.
+"""
+
+import numpy as np
+
+from repro.errors import PropertyTypeError, UnknownPropertyError
+from repro.graph.types import PropertyType
+
+_NUMPY_DTYPES = {
+    PropertyType.LONG: np.int64,
+    PropertyType.DOUBLE: np.float64,
+    PropertyType.BOOLEAN: np.bool_,
+}
+
+
+class PropertyColumn:
+    """A single fixed-length, typed property column."""
+
+    __slots__ = ("name", "ptype", "_values", "_codes", "_strings", "_string_ids")
+
+    def __init__(self, name, ptype, size):
+        self.name = name
+        self.ptype = ptype
+        if ptype is PropertyType.STRING:
+            self._codes = np.zeros(size, dtype=np.int32)
+            self._strings = [""]
+            self._string_ids = {"": 0}
+            self._values = None
+        else:
+            self._values = np.full(
+                size, ptype.default(), dtype=_NUMPY_DTYPES[ptype]
+            )
+            self._codes = None
+            self._strings = None
+            self._string_ids = None
+
+    def __len__(self):
+        if self.ptype is PropertyType.STRING:
+            return len(self._codes)
+        return len(self._values)
+
+    def get(self, index):
+        """Return the property value of entity *index* as a Python scalar."""
+        if self.ptype is PropertyType.STRING:
+            return self._strings[self._codes[index]]
+        return self._values[index].item()
+
+    def set(self, index, value):
+        """Set the property value of entity *index* (type-checked)."""
+        value = self.ptype.coerce(value)
+        if self.ptype is PropertyType.STRING:
+            code = self._string_ids.get(value)
+            if code is None:
+                code = len(self._strings)
+                self._string_ids[value] = code
+                self._strings.append(value)
+            self._codes[index] = code
+        else:
+            self._values[index] = value
+
+    def fill(self, values):
+        """Bulk-set the whole column from an iterable of *len(self)* values."""
+        for index, value in enumerate(values):
+            self.set(index, value)
+
+    def reordered(self, order):
+        """Return a copy of this column permuted by the index array *order*.
+
+        ``result.get(i) == self.get(order[i])``; used when the builder
+        renumbers edges into CSR order.
+        """
+        clone = PropertyColumn(self.name, self.ptype, len(order))
+        if self.ptype is PropertyType.STRING:
+            clone._codes = self._codes[order].copy()
+            clone._strings = list(self._strings)
+            clone._string_ids = dict(self._string_ids)
+        else:
+            clone._values = self._values[order].copy()
+        return clone
+
+    def selectivity(self, value):
+        """Fraction of rows equal to *value* — used by the query scheduler.
+
+        Returns 1.0 for un-coercible values (treated as unknown).
+        """
+        total = len(self)
+        if total == 0:
+            return 1.0
+        try:
+            value = self.ptype.coerce(value)
+        except PropertyTypeError:
+            return 1.0
+        if self.ptype is PropertyType.STRING:
+            code = self._string_ids.get(value)
+            if code is None:
+                return 0.0
+            return float(np.count_nonzero(self._codes == code)) / total
+        return float(np.count_nonzero(self._values == value)) / total
+
+
+class PropertyTable:
+    """A named collection of equally sized property columns."""
+
+    def __init__(self, kind, size):
+        self._kind = kind  # "vertex" or "edge", for error messages
+        self._size = size
+        self._columns = {}
+
+    def __contains__(self, name):
+        return name in self._columns
+
+    def __len__(self):
+        return len(self._columns)
+
+    @property
+    def size(self):
+        return self._size
+
+    def names(self):
+        return list(self._columns)
+
+    def add_column(self, name, ptype):
+        """Create (or return the existing, type-checked) column *name*."""
+        column = self._columns.get(name)
+        if column is not None:
+            if column.ptype is not ptype:
+                raise PropertyTypeError(
+                    "%s property %r redeclared as %s (was %s)"
+                    % (self._kind, name, ptype.value, column.ptype.value)
+                )
+            return column
+        column = PropertyColumn(name, ptype, self._size)
+        self._columns[name] = column
+        return column
+
+    def column(self, name):
+        column = self._columns.get(name)
+        if column is None:
+            raise UnknownPropertyError(self._kind, name)
+        return column
+
+    def get(self, name, index):
+        return self.column(name).get(index)
+
+    def set(self, name, index, value):
+        self.column(name).set(index, value)
+
+    def reordered(self, order):
+        """Return a copy of the whole table permuted by *order*."""
+        clone = PropertyTable(self._kind, len(order))
+        for name, column in self._columns.items():
+            clone._columns[name] = column.reordered(order)
+        return clone

@@ -1,0 +1,120 @@
+"""Core value types shared across the graph subpackage.
+
+Vertices and edges are dense integer ids (``0 .. n-1``).  Labels are
+interned into small integers through :class:`LabelDictionary` so that hot
+runtime paths compare ints instead of strings.
+"""
+
+import enum
+
+from repro.errors import PropertyTypeError
+
+# Dense integer handles. Plain ints, aliased for documentation purposes.
+VertexId = int
+EdgeId = int
+MachineId = int
+
+# Sentinel for "no label" on a vertex or an edge.
+NO_LABEL = -1
+
+
+class Direction(enum.Enum):
+    """Traversal direction of a pattern edge relative to the source stage."""
+
+    OUT = "out"
+    IN = "in"
+
+    def reverse(self):
+        return Direction.IN if self is Direction.OUT else Direction.OUT
+
+
+class PropertyType(enum.Enum):
+    """Declared type of a vertex or edge property column."""
+
+    LONG = "long"
+    DOUBLE = "double"
+    STRING = "string"
+    BOOLEAN = "boolean"
+
+    @classmethod
+    def infer(cls, value):
+        """Infer the property type of a Python value.
+
+        Booleans must be tested before ints because ``bool`` subclasses
+        ``int`` in Python.
+        """
+        if isinstance(value, bool):
+            return cls.BOOLEAN
+        if isinstance(value, int):
+            return cls.LONG
+        if isinstance(value, float):
+            return cls.DOUBLE
+        if isinstance(value, str):
+            return cls.STRING
+        raise PropertyTypeError(
+            "unsupported property value type: %r" % type(value).__name__
+        )
+
+    def default(self):
+        """Default value used for entities that never set the property."""
+        if self is PropertyType.LONG:
+            return 0
+        if self is PropertyType.DOUBLE:
+            return 0.0
+        if self is PropertyType.STRING:
+            return ""
+        return False
+
+    def coerce(self, value):
+        """Coerce *value* into this type, raising on lossy mismatches."""
+        if self is PropertyType.LONG:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise PropertyTypeError("expected int, got %r" % (value,))
+            return value
+        if self is PropertyType.DOUBLE:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise PropertyTypeError("expected float, got %r" % (value,))
+            return float(value)
+        if self is PropertyType.STRING:
+            if not isinstance(value, str):
+                raise PropertyTypeError("expected str, got %r" % (value,))
+            return value
+        if not isinstance(value, bool):
+            raise PropertyTypeError("expected bool, got %r" % (value,))
+        return value
+
+
+class LabelDictionary:
+    """Bidirectional mapping between label strings and small integers."""
+
+    def __init__(self):
+        self._by_name = {}
+        self._by_id = []
+
+    def __len__(self):
+        return len(self._by_id)
+
+    def intern(self, name):
+        """Return the id for *name*, assigning a fresh one if unseen."""
+        label_id = self._by_name.get(name)
+        if label_id is None:
+            label_id = len(self._by_id)
+            self._by_name[name] = label_id
+            self._by_id.append(name)
+        return label_id
+
+    def lookup(self, name):
+        """Return the id for *name*, or ``None`` if it was never interned.
+
+        Unknown labels are not an error: a query may filter on a label that
+        simply does not occur in the graph, and must match nothing.  The
+        ``None`` result is distinct from ``NO_LABEL`` (unlabeled entities)
+        so that filtering on an absent label never matches unlabeled ones.
+        """
+        return self._by_name.get(name)
+
+    def name(self, label_id):
+        return self._by_id[label_id]
+
+    def names(self):
+        return list(self._by_id)

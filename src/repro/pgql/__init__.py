@@ -1,0 +1,73 @@
+"""PGQL front-end: lexer, parser, AST, expression evaluation, validation."""
+
+from repro.pgql.ast import (
+    Aggregate,
+    AggregateFunc,
+    Binary,
+    EdgePattern,
+    HasPropCall,
+    IdCall,
+    LabelCall,
+    Literal,
+    OrderItem,
+    PathPattern,
+    PropRef,
+    Query,
+    SelectItem,
+    Unary,
+    VarRef,
+    VertexPattern,
+)
+from repro.pgql.expressions import (
+    EvalEnv,
+    MappingEnv,
+    evaluate,
+    evaluate_predicate,
+    referenced_props,
+    referenced_vars,
+    split_conjuncts,
+)
+from repro.pgql.lexer import Token, TokenType, tokenize
+from repro.pgql.parser import parse
+from repro.pgql.printer import expr_to_pgql, to_pgql
+from repro.pgql.validator import validate
+
+
+def parse_and_validate(text):
+    """Parse *text* and run semantic validation; returns the Query."""
+    return validate(parse(text))
+
+
+__all__ = [
+    "parse",
+    "to_pgql",
+    "expr_to_pgql",
+    "validate",
+    "parse_and_validate",
+    "tokenize",
+    "Token",
+    "TokenType",
+    "Query",
+    "SelectItem",
+    "OrderItem",
+    "PathPattern",
+    "VertexPattern",
+    "EdgePattern",
+    "Literal",
+    "VarRef",
+    "PropRef",
+    "IdCall",
+    "LabelCall",
+    "HasPropCall",
+    "Unary",
+    "Binary",
+    "Aggregate",
+    "AggregateFunc",
+    "EvalEnv",
+    "MappingEnv",
+    "evaluate",
+    "evaluate_predicate",
+    "referenced_vars",
+    "referenced_props",
+    "split_conjuncts",
+]

@@ -1,0 +1,324 @@
+"""Abstract syntax tree for the PGQL subset.
+
+The grammar covers what the paper exercises (fixed-length edge patterns,
+vertex/edge variables, labels, ``WITH`` inline filters, constraint
+expressions) plus the extensions listed in its future-work section
+(aggregates, ``GROUP BY``, ``ORDER BY``, ``LIMIT``).
+"""
+
+import enum
+
+from repro.graph.types import Direction
+
+
+class AggregateFunc(enum.Enum):
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for expression nodes."""
+
+    def children(self):
+        return ()
+
+    def walk(self):
+        """Yield this node and all descendants (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Literal(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return "Literal(%r)" % (self.value,)
+
+
+class VarRef(Expr):
+    """A bare variable: evaluates to the matched vertex (or edge) id."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return "VarRef(%s)" % self.name
+
+
+class PropRef(Expr):
+    """``var.prop`` — a property of a matched vertex or edge."""
+
+    __slots__ = ("var", "prop")
+
+    def __init__(self, var, prop):
+        self.var = var
+        self.prop = prop
+
+    def __repr__(self):
+        return "PropRef(%s.%s)" % (self.var, self.prop)
+
+
+class IdCall(Expr):
+    """``var.id()`` — the internal id of a matched vertex or edge."""
+
+    __slots__ = ("var",)
+
+    def __init__(self, var):
+        self.var = var
+
+    def __repr__(self):
+        return "IdCall(%s)" % self.var
+
+
+class LabelCall(Expr):
+    """``var.label()`` — the label string of a matched vertex or edge."""
+
+    __slots__ = ("var",)
+
+    def __init__(self, var):
+        self.var = var
+
+    def __repr__(self):
+        return "LabelCall(%s)" % self.var
+
+
+class HasPropCall(Expr):
+    """``var.has(prop)`` — whether the graph declares property *prop*."""
+
+    __slots__ = ("var", "prop")
+
+    def __init__(self, var, prop):
+        self.var = var
+        self.prop = prop
+
+    def __repr__(self):
+        return "HasPropCall(%s, %r)" % (self.var, self.prop)
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand):
+        self.op = op  # "NOT" or "-"
+        self.operand = operand
+
+    def children(self):
+        return (self.operand,)
+
+    def __repr__(self):
+        return "Unary(%s, %r)" % (self.op, self.operand)
+
+
+class Binary(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    #: Operators with Python-comparable semantics; see expressions.py for
+    #: the exact evaluation rules.
+    OPS = ("OR", "AND", "=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%")
+
+    def __init__(self, op, lhs, rhs):
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def children(self):
+        return (self.lhs, self.rhs)
+
+    def __repr__(self):
+        return "Binary(%s, %r, %r)" % (self.op, self.lhs, self.rhs)
+
+
+class Aggregate(Expr):
+    """``COUNT(*)``, ``SUM(expr)``, ... — valid in SELECT/HAVING/ORDER BY."""
+
+    __slots__ = ("func", "arg", "distinct")
+
+    def __init__(self, func, arg, distinct=False):
+        self.func = func
+        self.arg = arg  # None for COUNT(*)
+        self.distinct = distinct
+
+    def children(self):
+        return () if self.arg is None else (self.arg,)
+
+    def __repr__(self):
+        return "Aggregate(%s, %r, distinct=%r)" % (
+            self.func.value,
+            self.arg,
+            self.distinct,
+        )
+
+
+# ----------------------------------------------------------------------
+# Patterns
+# ----------------------------------------------------------------------
+class VertexPattern:
+    """``(name :label WITH filter)`` — one vertex of a path pattern."""
+
+    __slots__ = ("var", "label", "filter", "anonymous")
+
+    def __init__(self, var, label=None, filter=None, anonymous=False):
+        self.var = var
+        self.label = label
+        self.filter = filter  # Expr or None, already rewritten to PropRefs
+        self.anonymous = anonymous
+
+    def __repr__(self):
+        return "VertexPattern(%s, label=%r)" % (self.var, self.label)
+
+
+class EdgePattern:
+    """``-[name :label]->`` — one edge of a path pattern.
+
+    ``direction`` is relative to the textual order: OUT means the left
+    vertex points to the right vertex.
+
+    A *quantified* edge — ``-/:label{m,n}/->`` — matches a path of
+    between ``min_hops`` and ``max_hops`` same-label edges (the bounded
+    form of the paper's future-work "recursive paths").  Quantified
+    edges are always anonymous; the planner expands them into a union
+    of fixed-length patterns (see ``repro.plan.paths``).
+    """
+
+    __slots__ = ("var", "label", "direction", "anonymous", "min_hops",
+                 "max_hops")
+
+    def __init__(self, var, label=None, direction=Direction.OUT,
+                 anonymous=False, min_hops=1, max_hops=1):
+        self.var = var
+        self.label = label
+        self.direction = direction
+        self.anonymous = anonymous
+        self.min_hops = min_hops
+        self.max_hops = max_hops
+
+    @property
+    def quantified(self):
+        return (self.min_hops, self.max_hops) != (1, 1)
+
+    def __repr__(self):
+        return "EdgePattern(%s, label=%r, dir=%s, hops=%d..%d)" % (
+            self.var,
+            self.label,
+            self.direction.value,
+            self.min_hops,
+            self.max_hops,
+        )
+
+
+class PathPattern:
+    """A chain of vertices connected by edges.
+
+    ``edges[i]`` connects ``vertices[i]`` and ``vertices[i + 1]``.
+    """
+
+    __slots__ = ("vertices", "edges")
+
+    def __init__(self, vertices, edges):
+        assert len(vertices) == len(edges) + 1
+        self.vertices = vertices
+        self.edges = edges
+
+    def __repr__(self):
+        return "PathPattern(%d vertices)" % len(self.vertices)
+
+
+# ----------------------------------------------------------------------
+# Query
+# ----------------------------------------------------------------------
+class SelectItem:
+    __slots__ = ("expr", "alias")
+
+    def __init__(self, expr, alias=None):
+        self.expr = expr
+        self.alias = alias
+
+    def __repr__(self):
+        return "SelectItem(%r, alias=%r)" % (self.expr, self.alias)
+
+
+class OrderItem:
+    __slots__ = ("expr", "ascending")
+
+    def __init__(self, expr, ascending=True):
+        self.expr = expr
+        self.ascending = ascending
+
+
+class Query:
+    """A parsed PGQL query."""
+
+    __slots__ = (
+        "select_items",
+        "paths",
+        "constraints",
+        "group_by",
+        "having",
+        "order_by",
+        "limit",
+        "distinct",
+    )
+
+    def __init__(
+        self,
+        select_items,
+        paths,
+        constraints,
+        group_by=None,
+        having=None,
+        order_by=None,
+        limit=None,
+        distinct=False,
+    ):
+        self.select_items = select_items
+        self.paths = paths
+        self.constraints = constraints
+        self.group_by = group_by or []
+        self.having = having
+        self.order_by = order_by or []
+        self.limit = limit
+        self.distinct = distinct
+
+    def vertex_vars(self):
+        """All vertex variable names in pattern order, deduplicated."""
+        seen = []
+        for path in self.paths:
+            for vertex in path.vertices:
+                if vertex.var not in seen:
+                    seen.append(vertex.var)
+        return seen
+
+    def edge_vars(self):
+        """All edge variable names in pattern order."""
+        names = []
+        for path in self.paths:
+            for edge in path.edges:
+                names.append(edge.var)
+        return names
+
+    def all_expressions(self):
+        """Every expression in the query (filters, constraints, select, ...)."""
+        for path in self.paths:
+            for vertex in path.vertices:
+                if vertex.filter is not None:
+                    yield vertex.filter
+        yield from self.constraints
+        for item in self.select_items:
+            yield item.expr
+        yield from self.group_by
+        if self.having is not None:
+            yield self.having
+        for item in self.order_by:
+            yield item.expr

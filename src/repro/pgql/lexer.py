@@ -1,0 +1,164 @@
+"""Tokenizer for the PGQL subset.
+
+Hand-rolled single-pass scanner.  The only context-sensitive rule is that
+``<-`` is emitted as one LARROW token only when immediately followed by
+``[`` or ``(`` (pattern position); otherwise ``<`` and the rest are lexed
+separately so that expressions like ``a.x < -3`` work.
+"""
+
+import enum
+
+from repro.errors import PgqlSyntaxError
+
+KEYWORDS = frozenset(
+    """
+    SELECT WHERE WITH AS AND OR NOT TRUE FALSE
+    GROUP BY HAVING ORDER ASC DESC LIMIT DISTINCT
+    COUNT SUM AVG MIN MAX
+    """.split()
+)
+
+
+class TokenType(enum.Enum):
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    SYMBOL = "SYMBOL"
+    EOF = "EOF"
+
+
+class Token:
+    __slots__ = ("type", "value", "position")
+
+    def __init__(self, type_, value, position):
+        self.type = type_
+        self.value = value
+        self.position = position
+
+    def is_symbol(self, value):
+        return self.type is TokenType.SYMBOL and self.value == value
+
+    def is_keyword(self, value):
+        return self.type is TokenType.KEYWORD and self.value == value
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.type.value, self.value)
+
+
+#: Multi-character symbols, longest first so the scanner is greedy.
+_MULTI_SYMBOLS = ("->", "<=", ">=", "!=", "<>", "==")
+_SINGLE_SYMBOLS = set("()[]{},.:=<>+-*/%")
+
+
+def tokenize(text):
+    """Return the token list for *text*, ending with an EOF token."""
+    tokens = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "-" and text.startswith("--", index):
+            # SQL-style line comment.
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            word = text[start:index]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        if char.isdigit():
+            token, index = _scan_number(text, index)
+            tokens.append(token)
+            continue
+        if char in ("'", '"'):
+            token, index = _scan_string(text, index)
+            tokens.append(token)
+            continue
+        if char == "<" and text.startswith("<-", index):
+            after = _next_nonspace(text, index + 2)
+            if after is not None and after in "[(/":
+                tokens.append(Token(TokenType.SYMBOL, "<-", index))
+                index += 2
+                continue
+        matched = False
+        for symbol in _MULTI_SYMBOLS:
+            if text.startswith(symbol, index):
+                value = "=" if symbol == "==" else symbol
+                value = "!=" if symbol == "<>" else value
+                tokens.append(Token(TokenType.SYMBOL, value, index))
+                index += len(symbol)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _SINGLE_SYMBOLS:
+            tokens.append(Token(TokenType.SYMBOL, char, index))
+            index += 1
+            continue
+        raise PgqlSyntaxError("unexpected character %r" % char, index)
+    tokens.append(Token(TokenType.EOF, None, length))
+    return tokens
+
+
+def _next_nonspace(text, index):
+    while index < len(text):
+        if not text[index].isspace():
+            return text[index]
+        index += 1
+    return None
+
+
+def _scan_number(text, start):
+    index = start
+    length = len(text)
+    while index < length and text[index].isdigit():
+        index += 1
+    is_float = False
+    if index < length and text[index] == "." and index + 1 < length \
+            and text[index + 1].isdigit():
+        is_float = True
+        index += 1
+        while index < length and text[index].isdigit():
+            index += 1
+    if index < length and text[index] in "eE":
+        peek = index + 1
+        if peek < length and text[peek] in "+-":
+            peek += 1
+        if peek < length and text[peek].isdigit():
+            is_float = True
+            index = peek
+            while index < length and text[index].isdigit():
+                index += 1
+    literal = text[start:index]
+    value = float(literal) if is_float else int(literal)
+    return Token(TokenType.NUMBER, value, start), index
+
+
+def _scan_string(text, start):
+    quote = text[start]
+    index = start + 1
+    pieces = []
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\\" and index + 1 < length:
+            escape = text[index + 1]
+            pieces.append({"n": "\n", "t": "\t"}.get(escape, escape))
+            index += 2
+            continue
+        if char == quote:
+            return Token(TokenType.STRING, "".join(pieces), start), index + 1
+        pieces.append(char)
+        index += 1
+    raise PgqlSyntaxError("unterminated string literal", start)

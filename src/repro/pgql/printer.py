@@ -1,0 +1,152 @@
+"""Render a parsed query back to PGQL text.
+
+``to_pgql(parse(text))`` produces a semantically identical query (the
+round trip is property-tested); useful for logging, plan debugging, and
+the query-rewriting passes (e.g. variable-length path expansion).
+"""
+
+from repro.errors import PgqlError
+from repro.graph.types import Direction
+from repro.pgql.ast import (
+    Aggregate,
+    Binary,
+    HasPropCall,
+    IdCall,
+    LabelCall,
+    Literal,
+    PropRef,
+    Unary,
+    VarRef,
+)
+
+#: Binding strength per operator, for minimal parenthesization.
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 4, "!=": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+def to_pgql(query):
+    """Serialize a :class:`~repro.pgql.ast.Query` to PGQL text."""
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(
+        expr_to_pgql(item.expr) + (" AS %s" % item.alias if item.alias else "")
+        for item in query.select_items
+    ))
+    parts.append("WHERE")
+    elements = [_path_to_pgql(path) for path in query.paths]
+    elements.extend(expr_to_pgql(expr) for expr in query.constraints)
+    parts.append(", ".join(elements))
+    if query.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(expr_to_pgql(expr) for expr in query.group_by))
+    if query.having is not None:
+        parts.append("HAVING")
+        parts.append(expr_to_pgql(query.having))
+    if query.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(
+            expr_to_pgql(item.expr) + ("" if item.ascending else " DESC")
+            for item in query.order_by
+        ))
+    if query.limit is not None:
+        parts.append("LIMIT %d" % query.limit)
+    return " ".join(parts)
+
+
+def _path_to_pgql(path):
+    pieces = [_vertex_to_pgql(path.vertices[0])]
+    for index, edge in enumerate(path.edges):
+        pieces.append(_edge_to_pgql(edge))
+        pieces.append(_vertex_to_pgql(path.vertices[index + 1]))
+    return "".join(pieces)
+
+
+def _vertex_to_pgql(vertex):
+    inner = "" if vertex.anonymous else vertex.var
+    if vertex.label is not None:
+        inner += ":%s" % vertex.label
+    if vertex.filter is not None:
+        inner += " WITH %s" % expr_to_pgql(vertex.filter)
+    return "(%s)" % inner.strip()
+
+
+def _edge_to_pgql(edge):
+    body = "" if edge.anonymous else edge.var
+    if edge.label is not None:
+        body += ":%s" % edge.label
+    min_hops = getattr(edge, "min_hops", 1)
+    max_hops = getattr(edge, "max_hops", 1)
+    if (min_hops, max_hops) != (1, 1):
+        quantified = "/%s{%d,%d}/" % (
+            ":%s" % edge.label if edge.label is not None else "",
+            min_hops,
+            max_hops,
+        )
+        if edge.direction is Direction.OUT:
+            return "-%s->" % quantified
+        return "<-%s-" % quantified
+    if edge.direction is Direction.OUT:
+        return "-[%s]->" % body
+    return "<-[%s]-" % body
+
+
+def expr_to_pgql(expr, parent_precedence=0):
+    """Serialize one expression with minimal parentheses."""
+    if isinstance(expr, Literal):
+        return _literal(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, PropRef):
+        return "%s.%s" % (expr.var, expr.prop)
+    if isinstance(expr, IdCall):
+        return "%s.id()" % expr.var
+    if isinstance(expr, LabelCall):
+        return "%s.label()" % expr.var
+    if isinstance(expr, HasPropCall):
+        return '%s.has("%s")' % (expr.var, expr.prop)
+    if isinstance(expr, Unary):
+        if expr.op == "NOT":
+            text = "NOT %s" % expr_to_pgql(expr.operand, 3)
+            # NOT sits between AND and the comparisons; inside anything
+            # tighter it must be parenthesized.
+            if parent_precedence > 2:
+                return "(%s)" % text
+            return text
+        inner = expr_to_pgql(expr.operand, 7)
+        if inner.startswith("-"):
+            # "--x" would lex as a line comment; keep the inner negation
+            # parenthesized.
+            inner = "(%s)" % inner
+        return "-%s" % inner
+    if isinstance(expr, Binary):
+        precedence = _PRECEDENCE[expr.op]
+        # Comparisons are non-associative in the grammar: a nested
+        # comparison on either side needs its own parentheses.
+        lhs_floor = precedence + 1 if precedence == 4 else precedence
+        lhs = expr_to_pgql(expr.lhs, lhs_floor)
+        # Right operand binds one tighter: our parser is left-associative.
+        rhs = expr_to_pgql(expr.rhs, precedence + 1)
+        text = "%s %s %s" % (lhs, expr.op, rhs)
+        if precedence < parent_precedence:
+            return "(%s)" % text
+        return text
+    if isinstance(expr, Aggregate):
+        inner = "*" if expr.arg is None else expr_to_pgql(expr.arg)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return "%s(%s%s)" % (expr.func.value, distinct, inner)
+    raise PgqlError("cannot print expression: %r" % (expr,))
+
+
+def _literal(value):
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return '"%s"' % escaped
+    return repr(value)

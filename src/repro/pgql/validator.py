@@ -1,0 +1,189 @@
+"""Semantic validation of parsed queries.
+
+Checks performed:
+
+* every variable referenced by an expression is bound by a pattern;
+* vertex variables are used consistently (a name reused across paths
+  refers to the same vertex — that is legal and joins the paths — but an
+  edge variable may be bound only once);
+* aggregates appear only in SELECT / HAVING / ORDER BY, never nested,
+  and never in WHERE filters;
+* when the query aggregates or groups, every non-aggregate select item
+  must be one of the GROUP BY expressions;
+* LIMIT is non-negative.
+"""
+
+from repro.errors import PgqlValidationError
+from repro.pgql.ast import Aggregate, VarRef
+from repro.pgql.expressions import contains_aggregate, referenced_vars
+
+
+def validate(query):
+    """Raise :class:`PgqlValidationError` if *query* is malformed.
+
+    Also resolves SELECT aliases referenced from GROUP BY / HAVING /
+    ORDER BY (SQL-style), provided the alias does not shadow a pattern
+    variable.  Returns the query for call chaining.
+    """
+    if not query.paths:
+        raise PgqlValidationError("query has no graph pattern")
+
+    _resolve_select_aliases(query)
+    _check_quantified_edges(query)
+
+    vertex_vars = set(query.vertex_vars())
+    edge_vars = []
+    for path in query.paths:
+        for edge in path.edges:
+            edge_vars.append(edge.var)
+    duplicate_edges = {var for var in edge_vars if edge_vars.count(var) > 1}
+    if duplicate_edges:
+        raise PgqlValidationError(
+            "edge variables bound more than once: %s"
+            % ", ".join(sorted(duplicate_edges))
+        )
+    bound = vertex_vars | set(edge_vars)
+
+    shared = vertex_vars & set(edge_vars)
+    if shared:
+        raise PgqlValidationError(
+            "names used for both vertices and edges: %s"
+            % ", ".join(sorted(shared))
+        )
+
+    for expr in query.all_expressions():
+        unknown = referenced_vars(expr) - bound
+        if unknown:
+            raise PgqlValidationError(
+                "unbound variables: %s" % ", ".join(sorted(unknown))
+            )
+
+    for path in query.paths:
+        for vertex in path.vertices:
+            if vertex.filter is not None and contains_aggregate(vertex.filter):
+                raise PgqlValidationError("aggregates not allowed in WITH filters")
+    for constraint in query.constraints:
+        if contains_aggregate(constraint):
+            raise PgqlValidationError(
+                "aggregates not allowed in WHERE constraints"
+            )
+
+    for expr in _aggregate_hosts(query):
+        _check_no_nested_aggregates(expr)
+
+    has_aggregates = any(
+        contains_aggregate(item.expr) for item in query.select_items
+    )
+    if query.having is not None and not (has_aggregates or query.group_by):
+        raise PgqlValidationError("HAVING requires aggregation or GROUP BY")
+    if has_aggregates or query.group_by:
+        group_keys = [_expr_key(expr) for expr in query.group_by]
+        for item in query.select_items:
+            if contains_aggregate(item.expr):
+                continue
+            if _expr_key(item.expr) not in group_keys:
+                raise PgqlValidationError(
+                    "non-aggregate select item %r must appear in GROUP BY"
+                    % (item.expr,)
+                )
+
+    if query.limit is not None and query.limit < 0:
+        raise PgqlValidationError("LIMIT must be non-negative")
+    return query
+
+
+#: Cap on variable-length path bounds: expansions grow linearly in the
+#: hop count and multiplicatively across quantified edges.
+MAX_QUANTIFIED_HOPS = 8
+MAX_PATH_EXPANSIONS = 64
+
+
+def _check_quantified_edges(query):
+    quantified = [
+        edge
+        for path in query.paths
+        for edge in path.edges
+        if edge.quantified
+    ]
+    if not quantified:
+        return
+    expansions = 1
+    for edge in quantified:
+        if edge.min_hops < 1:
+            raise PgqlValidationError(
+                "path quantifier lower bound must be >= 1"
+            )
+        if edge.max_hops < edge.min_hops:
+            raise PgqlValidationError(
+                "path quantifier upper bound below lower bound"
+            )
+        if edge.max_hops > MAX_QUANTIFIED_HOPS:
+            raise PgqlValidationError(
+                "path quantifier upper bound capped at %d"
+                % MAX_QUANTIFIED_HOPS
+            )
+        expansions *= edge.max_hops - edge.min_hops + 1
+    if expansions > MAX_PATH_EXPANSIONS:
+        raise PgqlValidationError(
+            "variable-length paths expand to %d plans (cap %d)"
+            % (expansions, MAX_PATH_EXPANSIONS)
+        )
+    if query.group_by or query.having is not None or any(
+        contains_aggregate(item.expr) for item in query.select_items
+    ):
+        raise PgqlValidationError(
+            "aggregation is not supported together with variable-length "
+            "paths"
+        )
+
+
+def _resolve_select_aliases(query):
+    """Substitute bare alias references in GROUP BY / HAVING / ORDER BY.
+
+    A ``VarRef`` whose name matches a select alias — and is not a pattern
+    variable — is replaced by the aliased expression, so users can write
+    ``SELECT a.age / 10 AS decade ... ORDER BY decade``.
+    """
+    pattern_vars = set(query.vertex_vars())
+    for path in query.paths:
+        for edge in path.edges:
+            pattern_vars.add(edge.var)
+    aliases = {
+        item.alias: item.expr
+        for item in query.select_items
+        if item.alias and item.alias not in pattern_vars
+    }
+    if not aliases:
+        return
+
+    def substitute(expr):
+        if isinstance(expr, VarRef) and expr.name in aliases:
+            return aliases[expr.name]
+        return expr
+
+    query.group_by = [substitute(expr) for expr in query.group_by]
+    if query.having is not None:
+        query.having = substitute(query.having)
+    for item in query.order_by:
+        item.expr = substitute(item.expr)
+
+
+def _aggregate_hosts(query):
+    for item in query.select_items:
+        yield item.expr
+    if query.having is not None:
+        yield query.having
+    for item in query.order_by:
+        yield item.expr
+
+
+def _check_no_nested_aggregates(expr):
+    for node in expr.walk():
+        if isinstance(node, Aggregate) and node.arg is not None:
+            if contains_aggregate(node.arg):
+                raise PgqlValidationError("nested aggregates are not allowed")
+
+
+def _expr_key(expr):
+    """A structural key for comparing expressions (repr is structural)."""
+    return repr(expr)

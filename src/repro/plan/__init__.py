@@ -1,0 +1,100 @@
+"""Planning pipeline: PGQL text -> logical -> distributed -> execution plan.
+
+``plan_query`` glues the paper's steps i-iii together; the runtime's
+engine performs step iv (binding the compiled plan to machines and
+launching the computation).
+"""
+
+from repro.pgql import parse_and_validate
+from repro.pgql.ast import Query
+from repro.plan.distributed import (
+    DistributedPlan,
+    Hop,
+    HopKind,
+    Visit,
+    VisitKind,
+    build_distributed_plan,
+)
+from repro.plan.execution import (
+    IMPOSSIBLE_LABEL,
+    CompiledHop,
+    CompiledStage,
+    ContextLayout,
+    ContextRowEnv,
+    ExecutionPlan,
+    OutputSpec,
+    build_execution_plan,
+)
+from repro.plan.logical import (
+    CartesianRootMatch,
+    CommonNeighborMatch,
+    EdgeCheck,
+    LogicalPlan,
+    NeighborMatch,
+    RootVertexMatch,
+    build_logical_plan,
+)
+from repro.plan.options import MatchSemantics, PlannerOptions, SchedulingPolicy
+from repro.plan.paths import expand_quantified_paths, has_quantified_paths
+from repro.plan.scheduling import (
+    estimate_selectivities,
+    selectivity_order,
+)
+
+
+def plan_query(query, graph, options=None):
+    """Compile a PGQL query (text or parsed Query) against *graph*.
+
+    Runs the paper's steps i-iii and returns the compiled
+    :class:`ExecutionPlan` shared by every simulated machine.
+    """
+    options = options or PlannerOptions()
+    if isinstance(query, str):
+        query = parse_and_validate(query)
+    elif not isinstance(query, Query):
+        raise TypeError("expected PGQL text or a parsed Query")
+
+    vertex_order = options.vertex_order
+    if vertex_order is None and options.scheduling is SchedulingPolicy.SELECTIVITY:
+        vertex_order = selectivity_order(query, graph)
+
+    logical = build_logical_plan(
+        query,
+        vertex_order=vertex_order,
+        use_common_neighbors=options.use_common_neighbors,
+    )
+    distributed = build_distributed_plan(logical)
+    return build_execution_plan(distributed, graph, options)
+
+
+__all__ = [
+    "plan_query",
+    "PlannerOptions",
+    "MatchSemantics",
+    "SchedulingPolicy",
+    "LogicalPlan",
+    "build_logical_plan",
+    "RootVertexMatch",
+    "CartesianRootMatch",
+    "NeighborMatch",
+    "CommonNeighborMatch",
+    "EdgeCheck",
+    "DistributedPlan",
+    "build_distributed_plan",
+    "Visit",
+    "VisitKind",
+    "Hop",
+    "HopKind",
+    "ExecutionPlan",
+    "build_execution_plan",
+    "CompiledStage",
+    "CompiledHop",
+    "ContextLayout",
+    "ContextRowEnv",
+    "OutputSpec",
+    "IMPOSSIBLE_LABEL",
+    "estimate_selectivities",
+    "expand_quantified_paths",
+    "has_quantified_paths",
+    "selectivity_order",
+]

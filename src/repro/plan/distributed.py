@@ -1,0 +1,269 @@
+"""Step ii — logical plan to a distributed query plan.
+
+The distributed plan is a linear list of *visits* (paper: stages), each
+pinned to one pattern variable's vertex, with a *hop* describing the
+transition to the next visit.  The transformation inserts **inspection
+steps** whenever the next logical operator needs to traverse from a
+vertex other than the current one — the situation that, on real
+hardware, would otherwise require remote property/adjacency access
+(paper §3.1 and Figure 2, middle box).
+
+Filters attached to logical operators are divided here between *hop
+filters* (conjuncts that reference the hop's edge variable and can be
+evaluated at the hop's source machine, where the edge lives) and *visit
+filters* (everything else, evaluated at the stage's vertex).
+"""
+
+import enum
+
+from repro.errors import PlanError
+from repro.graph.types import Direction
+from repro.pgql.expressions import referenced_vars
+from repro.plan.logical import (
+    CartesianRootMatch,
+    CommonNeighborMatch,
+    EdgeCheck,
+    NeighborMatch,
+    RootVertexMatch,
+)
+
+
+class VisitKind(enum.Enum):
+    #: Matches a new vertex: runs label check, vertex filters, captures.
+    MATCH = "match"
+    #: Revisits an already-bound vertex (inspection / edge-check landing).
+    INSPECT = "inspect"
+    #: Receives a common-neighbor candidate payload and probes it.
+    CN_PROBE = "cn_probe"
+
+
+class HopKind(enum.Enum):
+    NEIGHBOR = "neighbor"           # out/in neighbors of the current vertex
+    VERTEX = "vertex"               # a single bound vertex (inspection/check)
+    ALL_VERTICES = "all_vertices"   # every vertex (cartesian restart)
+    CN_COLLECT = "cn_collect"       # gather candidates, ship to the peer
+    CN_PROBE = "cn_probe"           # intersect candidates with local edges
+    OUTPUT = "output"               # deliver the output context
+
+
+class EdgeReq:
+    """Edge-existence requirement of a VERTEX hop (an edge check).
+
+    ``current_to_target`` scans the current vertex's out-adjacency for the
+    target; ``target_to_current`` scans the current vertex's in-adjacency.
+    Either way the adjacency consulted is local to the current vertex.
+    """
+
+    __slots__ = ("orientation", "edge_var", "edge_label", "edge_anonymous")
+
+    def __init__(self, orientation, edge_var, edge_label, edge_anonymous):
+        assert orientation in ("current_to_target", "target_to_current")
+        self.orientation = orientation
+        self.edge_var = edge_var
+        self.edge_label = edge_label
+        self.edge_anonymous = edge_anonymous
+
+
+class Hop:
+    """Transition from one visit to the next."""
+
+    def __init__(self, kind, target_var=None, direction=None, edge_var=None,
+                 edge_label=None, edge_anonymous=True, edge_req=None,
+                 other_var=None):
+        self.kind = kind
+        self.target_var = target_var
+        self.direction = direction
+        self.edge_var = edge_var
+        self.edge_label = edge_label
+        self.edge_anonymous = edge_anonymous
+        self.edge_req = edge_req
+        #: CN_COLLECT: the bound variable whose machine receives the payload.
+        self.other_var = other_var
+        #: Conjuncts evaluated while hopping (may read the hop's edge and
+        #: anything already in the context, but not the target vertex).
+        self.edge_filters = []
+
+    def __repr__(self):
+        return "Hop(%s -> %s)" % (self.kind.value, self.target_var)
+
+
+class Visit:
+    """One stage of the distributed plan."""
+
+    def __init__(self, kind, var, label=None):
+        self.kind = kind
+        self.var = var
+        self.label = label
+        #: Conjuncts evaluated at this visit's vertex.
+        self.filters = []
+        self.hop = None  # filled in when the next visit is known
+        #: Bootstrap restriction for the root visit (vertex id or None).
+        self.single_vertex_id = None
+
+    def __repr__(self):
+        return "Visit(%s, %s)" % (self.kind.value, self.var)
+
+
+class DistributedPlan:
+    def __init__(self, visits, query, logical):
+        self.visits = visits
+        self.query = query
+        self.logical = logical
+
+    def __repr__(self):
+        return "DistributedPlan(%s)" % " | ".join(
+            "%s%s" % (visit.var, ":" + visit.hop.kind.value if visit.hop else "")
+            for visit in self.visits
+        )
+
+
+def build_distributed_plan(logical_plan):
+    """Lower *logical_plan* to a :class:`DistributedPlan`."""
+    builder = _Builder()
+    for op in logical_plan.ops:
+        builder.add_op(op)
+    visits = builder.finish()
+    return DistributedPlan(visits, logical_plan.query, logical_plan)
+
+
+class _Builder:
+    def __init__(self):
+        self._visits = []
+
+    @property
+    def _current_var(self):
+        return self._visits[-1].var if self._visits else None
+
+    def _append(self, visit):
+        self._visits.append(visit)
+
+    def _set_hop(self, hop):
+        """Assign the transition out of the current visit."""
+        self._visits[-1].hop = hop
+
+    def _ensure_at(self, var):
+        """Insert an inspection step if the traversal is not at *var*."""
+        if self._current_var == var:
+            return
+        self._set_hop(Hop(HopKind.VERTEX, target_var=var))
+        self._append(Visit(VisitKind.INSPECT, var))
+
+    def add_op(self, op):
+        if isinstance(op, RootVertexMatch):
+            if self._visits:
+                raise PlanError("root match must be the first operator")
+            visit = Visit(VisitKind.MATCH, op.var, label=op.label)
+            visit.filters = list(op.filters)
+            visit.single_vertex_id = op.single_vertex_id
+            self._append(visit)
+        elif isinstance(op, CartesianRootMatch):
+            self._set_hop(Hop(HopKind.ALL_VERTICES, target_var=op.var))
+            visit = Visit(VisitKind.MATCH, op.var, label=op.label)
+            visit.filters = list(op.filters)
+            self._append(visit)
+        elif isinstance(op, NeighborMatch):
+            self._ensure_at(op.src_var)
+            hop = Hop(
+                HopKind.NEIGHBOR,
+                target_var=op.dst_var,
+                direction=op.direction,
+                edge_var=op.edge_var,
+                edge_label=op.edge_label,
+                edge_anonymous=op.edge_anonymous,
+            )
+            visit = Visit(VisitKind.MATCH, op.dst_var, label=op.dst_label)
+            self._split_filters(op, hop, visit)
+            self._set_hop(hop)
+            self._append(visit)
+        elif isinstance(op, EdgeCheck):
+            self._add_edge_check(op)
+        elif isinstance(op, CommonNeighborMatch):
+            self._add_common_neighbor(op)
+        else:
+            raise PlanError("unknown logical operator: %r" % (op,))
+
+    def _add_edge_check(self, op):
+        current = self._current_var
+        if current == op.dst_var:
+            # Check from the destination side via its in-adjacency.
+            orientation = "target_to_current"
+            target = op.src_var
+        else:
+            self._ensure_at(op.src_var)
+            orientation = "current_to_target"
+            target = op.dst_var
+        req = EdgeReq(orientation, op.edge_var, op.edge_label,
+                      op.edge_anonymous)
+        hop = Hop(HopKind.VERTEX, target_var=target, edge_req=req)
+        visit = Visit(VisitKind.INSPECT, target)
+        self._split_filters(op, hop, visit, new_var=None)
+        self._set_hop(hop)
+        self._append(visit)
+
+    def _add_common_neighbor(self, op):
+        self._ensure_at(op.left_var)
+        collect = Hop(
+            HopKind.CN_COLLECT,
+            target_var=op.right_var,
+            direction=Direction.OUT,
+            edge_var=op.left_edge_var,
+            edge_label=op.left_edge_label,
+            other_var=op.right_var,
+        )
+        probe_visit = Visit(VisitKind.CN_PROBE, op.right_var)
+        probe_hop = Hop(
+            HopKind.CN_PROBE,
+            target_var=op.dst_var,
+            direction=Direction.OUT,
+            edge_var=op.right_edge_var,
+            edge_label=op.right_edge_label,
+        )
+        match_visit = Visit(VisitKind.MATCH, op.dst_var, label=op.dst_label)
+
+        # Single-edge conjuncts can run at the corresponding hop; everything
+        # else runs at the common neighbor's vertex function.
+        for conjunct in op.filters:
+            vars_used = referenced_vars(conjunct)
+            if op.dst_var in vars_used:
+                match_visit.filters.append(conjunct)
+            elif op.left_edge_var in vars_used and \
+                    op.right_edge_var not in vars_used:
+                collect.edge_filters.append(conjunct)
+            elif op.right_edge_var in vars_used and \
+                    op.left_edge_var not in vars_used:
+                probe_hop.edge_filters.append(conjunct)
+            else:
+                match_visit.filters.append(conjunct)
+
+        self._set_hop(collect)
+        self._append(probe_visit)
+        self._set_hop(probe_hop)
+        self._append(match_visit)
+
+    def _split_filters(self, op, hop, visit, new_var="__use_op__"):
+        """Divide op filters between the hop and the landing visit."""
+        if new_var == "__use_op__":
+            new_var = getattr(op, "dst_var", None)
+        edge_var = getattr(op, "edge_var", None)
+        for conjunct in op.filters:
+            vars_used = referenced_vars(conjunct)
+            # A conjunct can run at the hop iff it references the hop's
+            # edge and never the newly matched vertex: the edge and the
+            # hop's source vertex are local there, and every earlier
+            # variable's values come from context captures.  For edge
+            # checks there is no new vertex, so any edge conjunct works.
+            is_hop_filter = (
+                edge_var is not None
+                and edge_var in vars_used
+                and (new_var is None or new_var not in vars_used)
+            )
+            if is_hop_filter:
+                hop.edge_filters.append(conjunct)
+            else:
+                visit.filters.append(conjunct)
+
+    def finish(self):
+        if not self._visits:
+            raise PlanError("empty plan")
+        self._set_hop(Hop(HopKind.OUTPUT))
+        return list(self._visits)

@@ -1,0 +1,410 @@
+"""Step i — PGQL query to a logical query plan.
+
+The logical plan is an ordered list of match operators, the same shape
+the standard PGQL compiler emits for shared-memory PGX (paper Figure 2,
+left box): a root vertex match followed by neighbor matches and edge
+checks.  Filters are split into conjuncts and attached to the earliest
+operator at which all of their variables are bound.
+
+This plan still assumes shared-memory semantics — operators may
+reference any earlier variable's properties directly.  Steps ii and iii
+(``plan.distributed`` / ``plan.execution``) remove that assumption.
+"""
+
+from repro.errors import PlanError
+from repro.graph.types import Direction
+from repro.pgql.ast import Binary, IdCall, Literal
+from repro.pgql.expressions import referenced_vars, split_conjuncts
+
+
+class LogicalOp:
+    """Base class for logical match operators."""
+
+    def __init__(self):
+        #: Conjuncts whose variables are all bound once this op matched.
+        self.filters = []
+
+    def bound_vars(self):
+        """Variables this operator newly binds."""
+        return ()
+
+
+class RootVertexMatch(LogicalOp):
+    """Match the traversal origin; may be restricted to a single vertex id."""
+
+    def __init__(self, var, label=None):
+        super().__init__()
+        self.var = var
+        self.label = label
+        #: When the filters pin ``var.id() = const``, the constant; the
+        #: runtime then uses the single-vertex bootstrap task (paper §3.3).
+        self.single_vertex_id = None
+
+    def bound_vars(self):
+        return (self.var,)
+
+    def __repr__(self):
+        return "RootVertexMatch(%s)" % self.var
+
+
+class CartesianRootMatch(LogicalOp):
+    """Match the first vertex of a disconnected pattern component.
+
+    Implemented at runtime with the "vertices" hop engine hopping to every
+    vertex in the graph.
+    """
+
+    def __init__(self, var, label=None):
+        super().__init__()
+        self.var = var
+        self.label = label
+
+    def bound_vars(self):
+        return (self.var,)
+
+    def __repr__(self):
+        return "CartesianRootMatch(%s)" % self.var
+
+
+class NeighborMatch(LogicalOp):
+    """Match a new vertex adjacent to a bound one.
+
+    ``direction`` is relative to *src_var*: OUT follows ``src -> dst``
+    edges, IN follows ``dst -> src`` edges (i.e. in-neighbors of src).
+    """
+
+    def __init__(self, src_var, dst_var, direction, edge_var, edge_label,
+                 dst_label=None, edge_anonymous=True):
+        super().__init__()
+        self.src_var = src_var
+        self.dst_var = dst_var
+        self.direction = direction
+        self.edge_var = edge_var
+        self.edge_label = edge_label
+        self.dst_label = dst_label
+        self.edge_anonymous = edge_anonymous
+
+    def bound_vars(self):
+        return (self.dst_var, self.edge_var)
+
+    def __repr__(self):
+        arrow = "->" if self.direction is Direction.OUT else "<-"
+        return "NeighborMatch(%s %s %s)" % (self.src_var, arrow, self.dst_var)
+
+
+class CommonNeighborMatch(LogicalOp):
+    """Match a new vertex that is a neighbor of two bound vertices.
+
+    Covers patterns like ``(a)-[]->(c)<-[]-(b)`` with *c* unbound; emitted
+    only when the planner's common-neighbor optimization is enabled,
+    otherwise the pattern lowers to a NeighborMatch plus an EdgeCheck.
+    Both edges point *into* the common neighbor (left -> dst <- right).
+    """
+
+    def __init__(self, left_var, right_var, dst_var,
+                 left_edge_var, left_edge_label,
+                 right_edge_var, right_edge_label,
+                 dst_label=None):
+        super().__init__()
+        self.left_var = left_var
+        self.right_var = right_var
+        self.dst_var = dst_var
+        self.left_edge_var = left_edge_var
+        self.left_edge_label = left_edge_label
+        self.right_edge_var = right_edge_var
+        self.right_edge_label = right_edge_label
+        self.dst_label = dst_label
+
+    def bound_vars(self):
+        return (self.dst_var, self.left_edge_var, self.right_edge_var)
+
+    def __repr__(self):
+        return "CommonNeighborMatch(%s -> %s <- %s)" % (
+            self.left_var, self.dst_var, self.right_var,
+        )
+
+
+class EdgeCheck(LogicalOp):
+    """Verify a pattern edge between two already-bound vertices.
+
+    Stored in normalized OUT orientation: ``src_var -> dst_var``.
+    """
+
+    def __init__(self, src_var, dst_var, edge_var, edge_label,
+                 edge_anonymous=True):
+        super().__init__()
+        self.src_var = src_var
+        self.dst_var = dst_var
+        self.edge_var = edge_var
+        self.edge_label = edge_label
+        self.edge_anonymous = edge_anonymous
+
+    def bound_vars(self):
+        return (self.edge_var,)
+
+    def __repr__(self):
+        return "EdgeCheck(%s -> %s)" % (self.src_var, self.dst_var)
+
+
+class LogicalPlan:
+    """Ordered operator list plus query-level metadata."""
+
+    def __init__(self, ops, query):
+        self.ops = ops
+        self.query = query
+
+    def __repr__(self):
+        return "LogicalPlan(%s)" % ", ".join(repr(op) for op in self.ops)
+
+
+class _PatternEdge:
+    """A pattern edge normalized to OUT orientation (src -> dst)."""
+
+    __slots__ = ("src", "dst", "edge_var", "label", "anonymous", "used")
+
+    def __init__(self, src, dst, edge_var, label, anonymous):
+        self.src = src
+        self.dst = dst
+        self.edge_var = edge_var
+        self.label = label
+        self.anonymous = anonymous
+        self.used = False
+
+
+def build_logical_plan(query, vertex_order=None, use_common_neighbors=False):
+    """Lower a validated :class:`~repro.pgql.ast.Query` to a LogicalPlan.
+
+    *vertex_order* overrides the order in which vertex variables are
+    matched (see ``plan.scheduling``); it must be a permutation of the
+    query's vertex variables.  *use_common_neighbors* enables the
+    specialized common-neighbor operator of the paper's §5.
+    """
+    vertex_info = {}
+    for path in query.paths:
+        for vertex in path.vertices:
+            known = vertex_info.get(vertex.var)
+            if known is None:
+                vertex_info[vertex.var] = vertex
+            elif vertex.label and known.label and vertex.label != known.label:
+                raise PlanError(
+                    "vertex %r constrained to two labels: %r and %r"
+                    % (vertex.var, known.label, vertex.label)
+                )
+            elif vertex.label and not known.label:
+                vertex_info[vertex.var] = vertex
+
+    edges = _normalized_edges(query)
+    order = _resolve_order(query, vertex_order)
+    if use_common_neighbors and vertex_order is None:
+        order = _delay_common_neighbors(order, edges)
+
+    conjuncts = _collect_conjuncts(query)
+
+    ops = []
+    bound = set()
+    for position, var in enumerate(order):
+        info = vertex_info[var]
+        if position == 0:
+            ops.append(RootVertexMatch(var, label=info.label))
+        else:
+            op = _match_op(var, info, bound, edges, use_common_neighbors)
+            ops.append(op)
+        bound.add(var)
+        bound.update(ops[-1].bound_vars())
+        checks = _edge_checks_now_closed(edges, bound)
+        for check in checks:
+            bound.update(check.bound_vars())
+        ops.extend(checks)
+
+    unused = [edge for edge in edges if not edge.used]
+    if unused:
+        raise PlanError(
+            "internal: pattern edges not covered by the plan: %s"
+            % ", ".join(edge.edge_var for edge in unused)
+        )
+
+    _assign_filters(ops, conjuncts)
+    _detect_single_vertex_roots(ops)
+    return LogicalPlan(ops, query)
+
+
+def _normalized_edges(query):
+    edges = []
+    for path in query.paths:
+        for index, edge in enumerate(path.edges):
+            left = path.vertices[index].var
+            right = path.vertices[index + 1].var
+            if edge.direction is Direction.OUT:
+                src, dst = left, right
+            else:
+                src, dst = right, left
+            edges.append(
+                _PatternEdge(src, dst, edge.var, edge.label, edge.anonymous)
+            )
+    return edges
+
+
+def _resolve_order(query, vertex_order):
+    default = query.vertex_vars()
+    if vertex_order is None:
+        return default
+    if sorted(vertex_order) != sorted(default):
+        raise PlanError(
+            "vertex_order %r is not a permutation of %r"
+            % (vertex_order, default)
+        )
+    return list(vertex_order)
+
+
+def _delay_common_neighbors(order, edges):
+    """Reorder so common-neighbor candidates come after both sources.
+
+    A vertex with two or more in-edges from *distinct* other vertices can
+    be matched with the specialized common-neighbor operator, but only if
+    at least two of its sources are already bound.  Greedily emit vertices
+    in the given order, delaying such candidates until two sources are
+    placed (falling back to the original position if that never happens).
+    """
+    sources = {}
+    for edge in edges:
+        if edge.src != edge.dst:
+            sources.setdefault(edge.dst, set()).add(edge.src)
+    candidates = {var for var, srcs in sources.items() if len(srcs) >= 2}
+
+    result = []
+    pending = list(order)
+    while pending:
+        chosen = None
+        for var in pending:
+            if var in candidates:
+                placed = sum(1 for src in sources[var] if src in result)
+                if placed < 2:
+                    continue
+            chosen = var
+            break
+        if chosen is None:
+            chosen = pending[0]  # cyclic dependency: keep original order
+        result.append(chosen)
+        pending.remove(chosen)
+    return result
+
+
+def _collect_conjuncts(query):
+    conjuncts = []
+    for path in query.paths:
+        for vertex in path.vertices:
+            if vertex.filter is not None:
+                conjuncts.extend(split_conjuncts(vertex.filter))
+    for constraint in query.constraints:
+        conjuncts.extend(split_conjuncts(constraint))
+    return conjuncts
+
+
+def _match_op(var, info, bound, edges, use_common_neighbors):
+    connecting = [
+        edge
+        for edge in edges
+        if not edge.used
+        and (
+            (edge.src in bound and edge.dst == var)
+            or (edge.dst in bound and edge.src == var)
+        )
+    ]
+    if not connecting:
+        return CartesianRootMatch(var, label=info.label)
+
+    if use_common_neighbors and len(connecting) >= 2:
+        into = [edge for edge in connecting if edge.dst == var]
+        if len(into) >= 2:
+            left, right = into[0], into[1]
+            left.used = True
+            right.used = True
+            return CommonNeighborMatch(
+                left.src,
+                right.src,
+                var,
+                left.edge_var,
+                left.label,
+                right.edge_var,
+                right.label,
+                dst_label=info.label,
+            )
+
+    edge = connecting[0]
+    edge.used = True
+    if edge.src in bound and edge.dst == var:
+        direction = Direction.OUT
+        src_var = edge.src
+    else:
+        direction = Direction.IN
+        src_var = edge.dst
+    return NeighborMatch(
+        src_var,
+        var,
+        direction,
+        edge.edge_var,
+        edge.label,
+        dst_label=info.label,
+        edge_anonymous=edge.anonymous,
+    )
+
+
+def _edge_checks_now_closed(edges, bound):
+    checks = []
+    for edge in edges:
+        if not edge.used and edge.src in bound and edge.dst in bound:
+            edge.used = True
+            checks.append(
+                EdgeCheck(edge.src, edge.dst, edge.edge_var, edge.label,
+                          edge_anonymous=edge.anonymous)
+            )
+    return checks
+
+
+def _assign_filters(ops, conjuncts):
+    """Attach each conjunct to the earliest op binding all its variables."""
+    bound_after = []
+    bound = set()
+    for op in ops:
+        bound.update(op.bound_vars())
+        bound_after.append(set(bound))
+    for conjunct in conjuncts:
+        vars_needed = referenced_vars(conjunct)
+        target = None
+        for index, available in enumerate(bound_after):
+            if vars_needed <= available:
+                target = index
+                break
+        if target is None:
+            raise PlanError(
+                "conjunct references unbound variables: %r" % (conjunct,)
+            )
+        ops[target].filters.append(conjunct)
+
+
+def _detect_single_vertex_roots(ops):
+    """Detect ``root.id() = const`` filters for single-vertex bootstrap."""
+    for op in ops:
+        if not isinstance(op, RootVertexMatch):
+            continue
+        for conjunct in op.filters:
+            vertex_id = _id_equality_constant(conjunct, op.var)
+            if vertex_id is not None:
+                op.single_vertex_id = vertex_id
+                break
+
+
+def _id_equality_constant(expr, var):
+    if not isinstance(expr, Binary) or expr.op != "=":
+        return None
+    sides = (expr.lhs, expr.rhs)
+    for id_side, const_side in (sides, sides[::-1]):
+        if (
+            isinstance(id_side, IdCall)
+            and id_side.var == var
+            and isinstance(const_side, Literal)
+            and isinstance(const_side.value, int)
+            and not isinstance(const_side.value, bool)
+        ):
+            return const_side.value
+    return None

@@ -1,0 +1,38 @@
+"""Planner options shared by the planning pipeline and the engine."""
+
+import enum
+from dataclasses import dataclass
+
+
+class MatchSemantics(enum.Enum):
+    """Pattern-matching semantics (paper §5, "Graph Isomorphism").
+
+    * HOMOMORPHISM — the paper's implemented default: distinct pattern
+      variables may bind the same graph vertex.
+    * ISOMORPHISM — injective on vertices and edges.
+    * INDUCED — isomorphism plus: no graph edge may connect matched
+      vertices unless the pattern contains it.
+    """
+
+    HOMOMORPHISM = "homomorphism"
+    ISOMORPHISM = "isomorphism"
+    INDUCED = "induced"
+
+
+class SchedulingPolicy(enum.Enum):
+    """How the planner orders vertex matching (paper §5, future work)."""
+
+    #: Match vertices in order of appearance in the query text.
+    APPEARANCE = "appearance"
+    #: Start from the estimated most selective vertex and grow greedily.
+    SELECTIVITY = "selectivity"
+
+
+@dataclass
+class PlannerOptions:
+    semantics: MatchSemantics = MatchSemantics.HOMOMORPHISM
+    scheduling: SchedulingPolicy = SchedulingPolicy.APPEARANCE
+    #: Enable the specialized common-neighbor hop engine (paper §5).
+    use_common_neighbors: bool = False
+    #: Explicit vertex matching order; overrides *scheduling* when set.
+    vertex_order: list = None

@@ -1,0 +1,106 @@
+"""Variable-length path expansion (bounded "recursive paths", §5).
+
+A quantified edge ``(a)-/:likes{1,3}/->(b)`` matches a chain of 1 to 3
+``likes`` edges.  Since the bounds are finite, the query rewrites into
+a **union of fixed-length queries**: one per hop count (and, with
+several quantified edges, per combination).  Each expansion replaces
+the quantified edge with a chain of fresh anonymous vertices and edges;
+the engine executes every expansion and concatenates the projected rows
+(result multiplicity counts paths, consistent with homomorphism
+semantics — use ``SELECT DISTINCT`` for reachability-style answers).
+"""
+
+import itertools
+
+from repro.pgql.ast import EdgePattern, PathPattern, Query, VertexPattern
+
+
+def has_quantified_paths(query):
+    return any(
+        edge.quantified for path in query.paths for edge in path.edges
+    )
+
+
+def expand_quantified_paths(query):
+    """Return the list of fixed-length expansions of *query*.
+
+    A query without quantified edges expands to ``[query]`` itself.
+    """
+    if not has_quantified_paths(query):
+        return [query]
+
+    quantified = [
+        edge
+        for path in query.paths
+        for edge in path.edges
+        if edge.quantified
+    ]
+    ranges = [
+        range(edge.min_hops, edge.max_hops + 1) for edge in quantified
+    ]
+    expansions = []
+    for combo in itertools.product(*ranges):
+        lengths = dict(zip(map(id, quantified), combo))
+        expansions.append(_expand_once(query, lengths))
+    return expansions
+
+
+def _expand_once(query, lengths):
+    """One fixed-length rewrite; *lengths* maps id(edge) -> hop count."""
+    counter = itertools.count()
+
+    def fresh(prefix):
+        return "$%s_q%d" % (prefix, next(counter))
+
+    new_paths = []
+    for path in query.paths:
+        vertices = [path.vertices[0]]
+        edges = []
+        for index, edge in enumerate(path.edges):
+            right = path.vertices[index + 1]
+            hops = lengths.get(id(edge), 1)
+            if not edge.quantified or hops == 1:
+                edges.append(
+                    EdgePattern(
+                        edge.var if not edge.quantified else fresh("e"),
+                        label=edge.label,
+                        direction=edge.direction,
+                        anonymous=edge.anonymous,
+                    )
+                )
+                vertices.append(right)
+                continue
+            # Chain of `hops` edges through fresh anonymous vertices.
+            for _hop in range(hops - 1):
+                edges.append(
+                    EdgePattern(
+                        fresh("e"),
+                        label=edge.label,
+                        direction=edge.direction,
+                        anonymous=True,
+                    )
+                )
+                vertices.append(
+                    VertexPattern(fresh("v"), anonymous=True)
+                )
+            edges.append(
+                EdgePattern(
+                    fresh("e"),
+                    label=edge.label,
+                    direction=edge.direction,
+                    anonymous=True,
+                )
+            )
+            vertices.append(right)
+        new_paths.append(PathPattern(vertices, edges))
+
+    return Query(
+        query.select_items,
+        new_paths,
+        query.constraints,
+        group_by=list(query.group_by),
+        having=query.having,
+        order_by=list(query.order_by),
+        limit=query.limit,
+        distinct=query.distinct,
+    )

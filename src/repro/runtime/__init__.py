@@ -1,0 +1,47 @@
+"""PGX.D/Async runtime: stages, hop engines, flow control, termination."""
+
+from repro.runtime.aggregation import AggregateState, finalize
+from repro.runtime.engine import PgxdAsyncEngine, QueryResult, run_query
+from repro.runtime.flow_control import FlowControl
+from repro.runtime.hops import AllScanItem, CNItem
+from repro.runtime.machine import QueryMachine
+from repro.runtime.messages import (
+    Ack,
+    Completed,
+    QuotaGrant,
+    QuotaRequest,
+    WorkMessage,
+)
+from repro.runtime.results import ResultSet
+from repro.runtime.termination import TerminationTracker
+from repro.runtime.worker import (
+    Computation,
+    RunStatus,
+    ScanFrame,
+    StageFrame,
+    Worker,
+)
+
+__all__ = [
+    "PgxdAsyncEngine",
+    "QueryResult",
+    "run_query",
+    "ResultSet",
+    "QueryMachine",
+    "FlowControl",
+    "TerminationTracker",
+    "WorkMessage",
+    "Ack",
+    "Completed",
+    "QuotaRequest",
+    "QuotaGrant",
+    "AllScanItem",
+    "CNItem",
+    "Worker",
+    "Computation",
+    "RunStatus",
+    "StageFrame",
+    "ScanFrame",
+    "finalize",
+    "AggregateState",
+]

@@ -1,0 +1,237 @@
+"""The PGX.D/Async engine façade (paper step iv).
+
+``PgxdAsyncEngine`` binds a distributed graph to a cluster configuration
+and executes PGQL queries end to end: plan (steps i-iii), instantiate
+one :class:`QueryMachine` per simulated machine, run the simulator to
+completion, and finalize the merged results.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.metrics import QueryMetrics
+from repro.cluster.simulator import Simulator
+from repro.errors import ClusterConfigError
+from repro.graph.distributed import DistributedGraph
+from repro.pgql import parse_and_validate
+from repro.pgql.ast import Query, SelectItem
+from repro.plan import PlannerOptions, plan_query
+from repro.plan.paths import expand_quantified_paths, has_quantified_paths
+from repro.runtime.aggregation import _sort_decorated, finalize, \
+    finalize_grouped
+from repro.runtime.machine import QueryMachine
+from repro.runtime.results import ResultSet
+
+
+class QueryResult:
+    """The outcome of one query execution."""
+
+    def __init__(self, result_set, metrics, plan, stage_profile=None):
+        self.result_set = result_set
+        self.metrics = metrics
+        self.plan = plan
+        #: Per-stage counters (EXPLAIN ANALYZE): list of dicts with
+        #: ``visits`` (contexts entering the vertex function), ``passes``
+        #: (contexts surviving its checks), and ``remote_in`` (contexts
+        #: shipped to the stage over the network).  None for results that
+        #: did not run on the distributed runtime (e.g. baselines).
+        self.stage_profile = stage_profile
+
+    def explain_analyze(self):
+        """Stage plan annotated with runtime counters, as text."""
+        if self.plan is None or self.stage_profile is None:
+            return "no stage profile available"
+        lines = []
+        for stage, profile in zip(self.plan.stages, self.stage_profile):
+            lines.append(
+                "Stage %d (%s, %s)  visits=%d  passes=%d  remote_in=%d  "
+                "hop=%s"
+                % (
+                    stage.index,
+                    stage.var,
+                    stage.kind.value,
+                    profile["visits"],
+                    profile["passes"],
+                    profile["remote_in"],
+                    stage.hop.kind.value,
+                )
+            )
+        return "\n".join(lines)
+
+    @property
+    def rows(self):
+        return self.result_set.rows
+
+    @property
+    def columns(self):
+        return self.result_set.columns
+
+    def __len__(self):
+        return len(self.result_set)
+
+    def __repr__(self):
+        return "QueryResult(rows=%d, ticks=%d)" % (
+            len(self.result_set),
+            self.metrics.ticks,
+        )
+
+
+class PgxdAsyncEngine:
+    """A distributed pattern-matching engine over a simulated cluster.
+
+    Typical use::
+
+        engine = PgxdAsyncEngine(graph, ClusterConfig(num_machines=8))
+        result = engine.query("SELECT a, b WHERE (a)-[:friend]->(b)")
+        for row in result.rows:
+            ...
+    """
+
+    def __init__(self, graph, config=None, partitioner=None,
+                 debug_checks=False):
+        self.config = config or ClusterConfig()
+        if isinstance(graph, DistributedGraph):
+            if graph.num_machines != self.config.num_machines:
+                raise ClusterConfigError(
+                    "distributed graph has %d machines but config asks for %d"
+                    % (graph.num_machines, self.config.num_machines)
+                )
+            self.dist_graph = graph
+        else:
+            self.dist_graph = DistributedGraph.create(
+                graph, self.config.num_machines, partitioner=partitioner
+            )
+        self.graph = self.dist_graph.graph
+        self.debug_checks = debug_checks
+
+    def plan(self, query, options=None):
+        """Compile *query* (steps i-iii) without executing it."""
+        return plan_query(query, self.graph, options or PlannerOptions())
+
+    def query(self, query, options=None):
+        """Plan and execute *query*; returns a :class:`QueryResult`."""
+        if isinstance(query, str):
+            query = parse_and_validate(query)
+        if has_quantified_paths(query):
+            return execute_union(query, options, self.query)
+        plan = self.plan(query, options)
+        return self.execute_plan(plan)
+
+    def execute_plan(self, plan):
+        """Step iv: run a compiled plan on the simulated cluster."""
+        simulator = Simulator(self.config)
+        machines = [
+            QueryMachine(
+                plan,
+                self.dist_graph,
+                machine_id,
+                simulator.api_for(machine_id),
+                self.config,
+                debug_checks=self.debug_checks,
+            )
+            for machine_id in range(self.config.num_machines)
+        ]
+        simulator.attach(machines)
+        metrics = simulator.run()
+        stage_profile = [
+            {
+                "visits": sum(m.stage_visits[i] for m in machines),
+                "passes": sum(m.stage_passes[i] for m in machines),
+                "remote_in": sum(m.stage_remote_in[i] for m in machines),
+            }
+            for i in range(plan.num_stages)
+        ]
+        if plan.output.has_aggregates:
+            # Merge the machines' partial aggregation states.
+            merged = machines[0].collector
+            for machine in machines[1:]:
+                merged.merge(machine.collector)
+            result_set = finalize_grouped(plan.output, merged)
+        else:
+            raw_rows = [
+                ctx for machine in machines for ctx in machine.collector.rows
+            ]
+            result_set = finalize(
+                plan.output,
+                raw_rows,
+                plan.query.vertex_vars(),
+                plan.query.edge_vars(),
+            )
+        return QueryResult(result_set, metrics, plan,
+                           stage_profile=stage_profile)
+
+
+def execute_union(query, options, run_one):
+    """Execute a variable-length-path query as a union of expansions.
+
+    *run_one* executes a single fixed-length Query (e.g. an engine's
+    ``query`` method).  Each expansion runs with ORDER BY / LIMIT /
+    DISTINCT stripped and the ORDER BY expressions appended as hidden
+    projection columns, so the union can be globally sorted, deduped,
+    and truncated here.
+    """
+    expansions = expand_quantified_paths(query)
+    visible = len(query.select_items)
+    hidden_order = list(query.order_by)
+
+    all_rows = []
+    columns = None
+    combined = QueryMetrics()
+    plan = None
+    for expansion in expansions:
+        stripped = Query(
+            list(expansion.select_items)
+            + [SelectItem(item.expr) for item in hidden_order],
+            expansion.paths,
+            expansion.constraints,
+        )
+        result = run_one(stripped, options)
+        if columns is None:
+            columns = result.columns[:visible]
+            plan = result.plan
+        all_rows.extend(result.rows)
+        _merge_metrics(combined, result.metrics)
+
+    decorated = [(row[visible:], row[:visible]) for row in all_rows]
+    if query.distinct:
+        seen = set()
+        unique = []
+        for key, row in decorated:
+            if row in seen:
+                continue
+            seen.add(row)
+            unique.append((key, row))
+        decorated = unique
+    if hidden_order:
+        _sort_decorated(decorated, hidden_order)
+    rows = [row for _key, row in decorated]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return QueryResult(ResultSet(columns, rows), combined, plan)
+
+
+def _merge_metrics(total, part):
+    """Accumulate *part* into *total* (expansions run back to back)."""
+    total.ticks += part.ticks
+    total.num_machines = max(total.num_machines, part.num_machines)
+    total.total_ops += part.total_ops
+    total.total_idle_ticks += part.total_idle_ticks
+    total.work_messages += part.work_messages
+    total.contexts_shipped += part.contexts_shipped
+    total.control_messages += part.control_messages
+    total.num_results += part.num_results
+    total.flow_control_blocks += part.flow_control_blocks
+    total.quota_requests += part.quota_requests
+    total.quota_granted += part.quota_granted
+    total.ghost_prunes += part.ghost_prunes
+    total.wall_time_seconds += part.wall_time_seconds
+    total.peak_buffered_contexts = max(
+        total.peak_buffered_contexts, part.peak_buffered_contexts
+    )
+    total.peak_live_frames = max(
+        total.peak_live_frames, part.peak_live_frames
+    )
+
+
+def run_query(graph, query, config=None, options=None, debug_checks=False):
+    """One-shot convenience wrapper around :class:`PgxdAsyncEngine`."""
+    engine = PgxdAsyncEngine(graph, config=config, debug_checks=debug_checks)
+    return engine.query(query, options=options)

@@ -1,0 +1,140 @@
+"""Strict, precise flow control (paper §3.3).
+
+Each sending machine keeps, per (stage *n*, destination machine *m*), a
+counter of unacknowledged bulk messages in flight and a window limit
+``b[n][m]``.  A message may be sent only while the counter is below the
+limit; acknowledgments decrement it.  With ``M`` machines, ``N`` stages,
+window ``b`` and bulk size ``B``, any machine therefore stores at most
+``N * (M-1) * b * B`` unprocessed remote contexts — the deterministic
+memory bound the paper claims.
+
+The *dynamic memory management* refinements are implemented here too:
+
+1. when the termination protocol reports stage *n* globally complete,
+   its windows are redistributed among the later stages;
+2. a sender exhausting its window for (n, m) may request spare capacity
+   from a peer's window for the same (n, m); the peer donates half of
+   its unused slots.  The total inbound allowance of machine *m* for
+   stage *n* is preserved, so the receiver-side memory bound still holds.
+"""
+
+from repro.errors import FlowControlError
+
+
+class FlowControl:
+    """Sender-side window accounting for one machine."""
+
+    def __init__(self, num_stages, num_machines, machine_id, window,
+                 dynamic=True):
+        self._num_stages = num_stages
+        self._num_machines = num_machines
+        self._machine_id = machine_id
+        self._dynamic = dynamic
+        #: limit[n][m] — max in-flight bulk messages for stage n to machine m.
+        self._limit = [
+            [window] * num_machines for _ in range(num_stages)
+        ]
+        #: inflight[n][m] — currently unacknowledged bulk messages.
+        self._inflight = [
+            [0] * num_machines for _ in range(num_stages)
+        ]
+        #: Stages already redistributed (guards double redistribution).
+        self._redistributed = [False] * num_stages
+        #: Outstanding quota request per (stage, dest) to avoid spamming.
+        self._quota_pending = set()
+
+    # ------------------------------------------------------------------
+    # Window operations
+    # ------------------------------------------------------------------
+    def can_send(self, stage, dest):
+        return self._inflight[stage][dest] < self._limit[stage][dest]
+
+    def on_send(self, stage, dest):
+        if not self.can_send(stage, dest):
+            raise FlowControlError(
+                "send without window: stage=%d dest=%d" % (stage, dest)
+            )
+        self._inflight[stage][dest] += 1
+
+    def on_ack(self, stage, count):
+        """An ack from *some* destination; the wire carries the stage only.
+
+        The receiver acks each message exactly once, so attributing the
+        decrement requires the destination; see :meth:`on_ack_from`.
+        """
+        raise NotImplementedError("use on_ack_from")
+
+    def on_ack_from(self, stage, src, count):
+        self._inflight[stage][src] -= count
+        if self._inflight[stage][src] < 0:
+            raise FlowControlError(
+                "negative in-flight count: stage=%d machine=%d"
+                % (stage, src)
+            )
+
+    def inflight_total(self):
+        return sum(sum(row) for row in self._inflight)
+
+    def limit(self, stage, dest):
+        return self._limit[stage][dest]
+
+    def inflight(self, stage, dest):
+        return self._inflight[stage][dest]
+
+    # ------------------------------------------------------------------
+    # Dynamic refinement 1: redistribute completed stages' windows
+    # ------------------------------------------------------------------
+    def redistribute_completed_stage(self, stage):
+        """Move stage *stage*'s window capacity to the later stages.
+
+        Called when the termination protocol learns that *stage* is
+        complete on every machine — no more messages for ``stage + 1``
+        will be produced by it, but the capacity can still serve stages
+        ``stage + 2 .. N``; it is split evenly among them.
+        """
+        if not self._dynamic or self._redistributed[stage]:
+            return
+        self._redistributed[stage] = True
+        later = range(stage + 1, self._num_stages)
+        if not later:
+            return
+        count = len(later)
+        for dest in range(self._num_machines):
+            capacity = self._limit[stage][dest]
+            self._limit[stage][dest] = 0
+            share, remainder = divmod(capacity, count)
+            for offset, target in enumerate(later):
+                bonus = 1 if offset < remainder else 0
+                self._limit[target][dest] += share + bonus
+
+    # ------------------------------------------------------------------
+    # Dynamic refinement 2: capacity borrowing between machines
+    # ------------------------------------------------------------------
+    def wants_quota(self, stage, dest):
+        """Should we ask a peer for capacity for (stage, dest)?"""
+        if not self._dynamic:
+            return False
+        if (stage, dest) in self._quota_pending:
+            return False
+        return not self.can_send(stage, dest)
+
+    def note_quota_requested(self, stage, dest):
+        self._quota_pending.add((stage, dest))
+
+    def on_quota_grant(self, stage, dest, amount):
+        self._quota_pending.discard((stage, dest))
+        self._limit[stage][dest] += amount
+
+    def donate_quota(self, stage, dest):
+        """Give away half of the unused window for (stage, dest).
+
+        Returns the donated amount (possibly 0).  Keeps at least one slot
+        so this machine can still make progress on that channel.
+        """
+        if not self._dynamic:
+            return 0
+        spare = self._limit[stage][dest] - self._inflight[stage][dest]
+        donation = max(0, min(spare // 2, self._limit[stage][dest] - 1))
+        if donation > 0:
+            self._limit[stage][dest] -= donation
+        return donation

@@ -1,0 +1,447 @@
+"""Per-machine runtime: message manager, flow control, termination, results.
+
+``QueryMachine`` implements the simulator's machine interface and acts
+as the runtime facade (``rt``) that workers and hop cursors call into.
+It owns:
+
+* the machine's :class:`LocalPartition` of the distributed graph;
+* the **message manager** — per-(stage, destination) outgoing bulk
+  buffers and per-stage inboxes (paper §3.2);
+* the **flow control manager** (paper §3.3, ``runtime.flow_control``);
+* the **termination tracker** (``runtime.termination``);
+* the machine-local result collector.
+"""
+
+from collections import deque
+
+from repro.cluster.metrics import MachineMetrics
+from repro.cluster.tasks import CallbackTask, TaskQueue
+from repro.errors import RuntimeFault
+from repro.runtime.flow_control import FlowControl
+from repro.runtime.hops import CNItem
+from repro.runtime.messages import (
+    Ack,
+    Completed,
+    QuotaGrant,
+    QuotaRequest,
+    WorkMessage,
+)
+from repro.runtime.termination import TerminationTracker
+from repro.runtime.worker import ScanFrame, Worker, frame_for_item
+
+
+def _item_weight(item):
+    """Contexts an item accounts for in memory metrics."""
+    return len(item) if isinstance(item, CNItem) else 1
+
+
+class QueryMachine:
+    """One simulated machine executing its share of a query."""
+
+    def __init__(self, plan, dist_graph, machine_id, api, config,
+                 debug_checks=False):
+        self.plan = plan
+        self.graph = plan.graph
+        self.local = dist_graph.local(machine_id)
+        self.machine_id = machine_id
+        self.api = api
+        self.config = config
+        self.debug_checks = debug_checks
+        self.metrics = MachineMetrics()
+
+        num_stages = plan.num_stages
+        num_machines = config.num_machines
+        self.flow = FlowControl(
+            num_stages,
+            num_machines,
+            machine_id,
+            config.flow_control_window,
+            dynamic=config.dynamic_flow_control,
+        )
+        self.termination = TerminationTracker(
+            num_stages, num_machines, machine_id
+        )
+
+        #: Outgoing bulk buffers: (stage, dest) -> list of items.
+        self._outgoing = {}
+        #: Per-stage inbox of WorkMessages.
+        self._inbox = [deque() for _ in range(num_stages)]
+        #: Unconsumed inbox items + live frames, per stage.
+        self.stage_load = [0] * num_stages
+        #: Per-stage profile counters (EXPLAIN ANALYZE): contexts that
+        #: entered each stage's vertex function, how many passed its
+        #: checks, and how many contexts were shipped remotely to it.
+        self.stage_visits = [0] * num_stages
+        self.stage_passes = [0] * num_stages
+        self.stage_remote_in = [0] * num_stages
+        #: Intra-machine work sharing (paper §1/§3.3: computations
+        #: "submitted internally to facilitate work-sharing"): a bounded
+        #: per-stage queue of local continuations that idle workers pick
+        #: up.  The bound keeps the depth-first memory guarantee intact —
+        #: once full, continuations stay on the producing worker's stack.
+        self._local_inbox = [deque() for _ in range(num_stages)]
+        self._local_share_cap = (
+            2 * config.workers_per_machine if config.work_sharing else 0
+        )
+
+        self._workers = [
+            Worker(self, index) for index in range(config.workers_per_machine)
+        ]
+        self._bootstrap_chunks = self._make_bootstrap_chunks()
+        self._bootstrap_total = len(self._bootstrap_chunks)
+
+        # Machine-local result collector: raw rows, or a partial-
+        # aggregation accumulator for aggregating queries (so no machine
+        # materializes its full match list — see runtime.aggregation).
+        from repro.runtime.aggregation import make_collector
+
+        self.collector = make_collector(
+            plan.output, plan.query.vertex_vars(), plan.query.edge_vars()
+        )
+        self.last_refused = None
+        self._sync_wait = None
+        self._acked_seqs = set()
+        self._quota_rr = 0
+
+        # The two PGX.D tasks (paper §3.3): bootstrap, then await-completion.
+        self.tasks = TaskQueue()
+        self.tasks.push(CallbackTask("bootstrap", self._poll_bootstrap_task))
+        self.tasks.push(CallbackTask("await-completion", self._poll_await_task))
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def _make_bootstrap_chunks(self, chunk_size=256):
+        root = self.plan.root
+        if root.single_vertex_id is not None:
+            origin = root.single_vertex_id
+            if not (0 <= origin < self.graph.num_vertices):
+                return deque()
+            if self.local.is_local(origin):
+                return deque([[origin]])
+            return deque()
+        vertices = self.local.local_vertices()
+        chunks = deque()
+        for start in range(0, len(vertices), chunk_size):
+            chunks.append(vertices[start:start + chunk_size])
+        return chunks
+
+    def next_bootstrap_frame(self):
+        if not self._bootstrap_chunks:
+            return None
+        chunk = self._bootstrap_chunks.popleft()
+        self.stage_load[0] += 1  # the ScanFrame counts as a stage-0 frame
+        self.metrics.frames_delta(1)
+        return ScanFrame(0, (), chunk)
+
+    @property
+    def bootstrap_done(self):
+        return not self._bootstrap_chunks
+
+    # ------------------------------------------------------------------
+    # PGX.D task plumbing (structural; workers drive the same DOWORK)
+    # ------------------------------------------------------------------
+    def _poll_bootstrap_task(self, worker, budget):
+        ops = worker.step(budget)
+        return ops, self.bootstrap_done
+
+    def _poll_await_task(self, worker, budget):
+        ops = worker.step(budget)
+        return ops, self.is_finished()
+
+    # ------------------------------------------------------------------
+    # Simulator interface
+    # ------------------------------------------------------------------
+    def worker_step(self, worker_index, budget):
+        worker = self._workers[worker_index]
+        task = self.tasks.head()
+        if task is None:
+            self.metrics.idle_ticks += 1
+            return 0
+        # Worker.step accounts real ops into the metrics itself; the
+        # returned value is the time slice consumed (for idleness).
+        used = task.poll(worker, budget)
+        if self._sync_wait is not None:
+            worker.waiting_for_seq = self._sync_wait
+            self._sync_wait = None
+        if used == 0:
+            self.metrics.idle_ticks += 1
+        self._attempt_completions()
+        return used
+
+    def on_message(self, src, payload):
+        if isinstance(payload, WorkMessage):
+            payload.src = src
+            self._inbox[payload.stage].append(payload)
+            weight = sum(_item_weight(item) for item in payload.items)
+            self.stage_load[payload.stage] += len(payload.items)
+            self.metrics.buffered_delta(weight)
+            if self.config.blocking_remote:
+                # Synchronous-RPC model (ABL4): acknowledge on receipt so
+                # the sender's round trip is 2x latency; a deferred ack
+                # would deadlock once every worker is parked waiting.
+                self.api.send(src, Ack(payload.stage, 1, seqs=(payload.seq,)))
+                self.metrics.control_messages_sent += 1
+        elif isinstance(payload, Ack):
+            self.flow.on_ack_from(payload.stage, src, payload.count)
+            self._acked_seqs.update(payload.seqs)
+        elif isinstance(payload, Completed):
+            self.termination.on_completed(payload.stage, src)
+            if self.termination.stage_globally_complete(payload.stage):
+                self.flow.redistribute_completed_stage(payload.stage)
+        elif isinstance(payload, QuotaRequest):
+            amount = self.flow.donate_quota(payload.stage, payload.dest)
+            self.api.send(src, QuotaGrant(payload.stage, payload.dest, amount))
+            self.metrics.control_messages_sent += 1
+            if amount:
+                self.metrics.quota_granted += amount
+        elif isinstance(payload, QuotaGrant):
+            self.flow.on_quota_grant(payload.stage, payload.dest,
+                                     payload.amount)
+        else:
+            raise RuntimeFault("unknown payload: %r" % (payload,))
+
+    def is_finished(self):
+        return self.termination.all_complete()
+
+    # ------------------------------------------------------------------
+    # Runtime facade used by workers and hop cursors
+    # ------------------------------------------------------------------
+    @property
+    def num_machines(self):
+        return self.config.num_machines
+
+    def owner(self, vertex):
+        return self.local.owner(vertex)
+
+    def push_frame(self, comp, frame):
+        comp.stack.append(frame)
+        self.stage_load[frame.stage_index] += 1
+        self.metrics.frames_delta(1)
+
+    def pop_frame(self, comp):
+        frame = comp.stack.pop()
+        self.stage_load[frame.stage_index] -= 1
+        self.metrics.frames_delta(-1)
+        return frame
+
+    def note_item_consumed(self, stage, item):
+        self.stage_load[stage] -= 1
+        self.metrics.buffered_delta(-_item_weight(item))
+
+    def pop_message(self, stage):
+        inbox = self._inbox[stage]
+        return inbox.popleft() if inbox else None
+
+    def pop_local_item(self, stage):
+        """Take one work-shared local continuation for *stage*, if any."""
+        queue = self._local_inbox[stage]
+        if not queue:
+            return None
+        item = queue.popleft()
+        self.stage_load[stage] -= 1
+        self.metrics.buffered_delta(-_item_weight(item))
+        return item
+
+    def emit_result(self, ctx):
+        self.collector.add(ctx)
+        self.metrics.results_emitted += 1
+
+    def send_ack(self, message):
+        """Ack *message* to its sender (receiver finished processing it).
+
+        In blocking mode the ack already went out on receipt.
+        """
+        if self.config.blocking_remote:
+            return
+        self.api.send(
+            message.src, Ack(message.stage, 1, seqs=(message.seq,))
+        )
+        self.metrics.control_messages_sent += 1
+
+    def is_acked(self, seq):
+        return seq in self._acked_seqs
+
+    def sync_wait_flagged(self):
+        """True while a blocking-mode send awaits worker pickup."""
+        return self._sync_wait is not None
+
+    def ghost_admits(self, stage_index, ctx, target):
+        """Ghost-node pre-filter (PGX.D's ghost functionality).
+
+        When *target* is a ghost — its properties and label replicated
+        on every machine — the next stage's adjacency-free admission
+        checks can run right here; returning False lets the hop skip the
+        remote message.  Non-ghost targets always "admit" (the owner
+        decides).  Stages with induced-semantics adjacency checks are
+        never pre-filtered.
+        """
+        if not self.local.is_ghost(target):
+            return True
+        stage = self.plan.stages[stage_index]
+        if stage.forbidden_slots:
+            return True
+        from repro.runtime.worker import vertex_admissible
+
+        if vertex_admissible(self, stage, ctx, target):
+            return True
+        self.metrics.ghost_prunes += 1
+        return False
+
+    def route(self, comp, stage_index, dest, item):
+        """Deliver a continuation to *stage_index* on machine *dest*.
+
+        Local continuations become frames immediately (depth-first);
+        remote ones enter the bulk buffer, subject to flow control.
+        Returns False when the send was refused — the caller must replay
+        the emission once the window frees up.
+        """
+        if dest == self.machine_id:
+            queue = self._local_inbox[stage_index]
+            if len(queue) < self._local_share_cap:
+                queue.append(item)
+                self.stage_load[stage_index] += 1
+                self.metrics.buffered_delta(_item_weight(item))
+            else:
+                self.push_frame(comp, frame_for_item(self, stage_index, item))
+            return True
+        if self.config.blocking_remote:
+            if self._route_blocking(stage_index, dest, item):
+                self.stage_remote_in[stage_index] += _item_weight(item)
+                return True
+            return False
+        if self._enqueue(stage_index, dest, item):
+            self.stage_remote_in[stage_index] += _item_weight(item)
+            return True
+        self.last_refused = (stage_index, dest)
+        self.metrics.flow_control_blocks += 1
+        return False
+
+    def _route_blocking(self, stage_index, dest, item):
+        """ABL4 mode: one message per context, synchronous ack wait."""
+        if not self.flow.can_send(stage_index, dest):
+            self.last_refused = (stage_index, dest)
+            self.metrics.flow_control_blocks += 1
+            return False
+        message = WorkMessage(stage_index, (item,))
+        self.flow.on_send(stage_index, dest)
+        self.api.send(dest, message, size=_item_weight(item))
+        self.metrics.work_messages_sent += 1
+        self.metrics.contexts_sent += _item_weight(item)
+        self._sync_wait = message.seq
+        return True
+
+    # ------------------------------------------------------------------
+    # Message manager: bulk buffers
+    # ------------------------------------------------------------------
+    def _buffer(self, stage, dest):
+        key = (stage, dest)
+        buffer = self._outgoing.get(key)
+        if buffer is None:
+            buffer = []
+            self._outgoing[key] = buffer
+        return buffer
+
+    def can_enqueue(self, stage, dest):
+        buffer = self._buffer(stage, dest)
+        if len(buffer) < self.config.bulk_message_size:
+            return True
+        return self.flow.can_send(stage, dest)
+
+    def _enqueue(self, stage, dest, item):
+        buffer = self._buffer(stage, dest)
+        bulk = self.config.bulk_message_size
+        if len(buffer) >= bulk and not self._flush(stage, dest):
+            return False
+        buffer.append(item)
+        self.metrics.buffered_delta(_item_weight(item))
+        if len(buffer) >= bulk:
+            self._flush(stage, dest)  # opportunistic; failure is fine
+        return True
+
+    def _flush(self, stage, dest):
+        buffer = self._buffer(stage, dest)
+        if not buffer:
+            return True
+        if not self.flow.can_send(stage, dest):
+            return False
+        message = WorkMessage(stage, tuple(buffer))
+        weight = sum(_item_weight(item) for item in buffer)
+        del buffer[:]
+        self.flow.on_send(stage, dest)
+        self.api.send(dest, message, size=weight)
+        self.metrics.work_messages_sent += 1
+        self.metrics.contexts_sent += weight
+        self.metrics.buffered_delta(-weight)
+        return True
+
+    def _outbuf_empty_for(self, stage):
+        """No buffered unsent contexts targeting *stage*."""
+        for (buf_stage, _dest), buffer in self._outgoing.items():
+            if buf_stage == stage and buffer:
+                return False
+        return True
+
+    def idle_progress(self):
+        """Opportunistic work for an otherwise idle worker: flush buffers."""
+        ops = 0
+        for (stage, dest), buffer in sorted(
+            self._outgoing.items(), key=lambda kv: -kv[0][0]
+        ):
+            if buffer and self._flush(stage, dest):
+                ops += self.config.message_send_cost
+        return ops
+
+    # ------------------------------------------------------------------
+    # Dynamic flow control: quota borrowing
+    # ------------------------------------------------------------------
+    def maybe_request_quota(self, stage, dest):
+        if not self.flow.wants_quota(stage, dest):
+            return
+        peers = [
+            machine
+            for machine in range(self.num_machines)
+            if machine not in (self.machine_id, dest)
+        ]
+        if not peers:
+            return
+        peer = peers[self._quota_rr % len(peers)]
+        self._quota_rr += 1
+        self.flow.note_quota_requested(stage, dest)
+        self.api.send(peer, QuotaRequest(stage, dest))
+        self.metrics.control_messages_sent += 1
+        self.metrics.quota_requests += 1
+
+    # ------------------------------------------------------------------
+    # Termination protocol
+    # ------------------------------------------------------------------
+    def _attempt_completions(self):
+        num_stages = self.plan.num_stages
+        for stage in range(num_stages):
+            if self.termination.sent(stage):
+                continue
+            if not self.termination.predecessor_complete(stage):
+                break
+            # Outgoing buffers *from* this stage target stage + 1.
+            outbuf_empty = (
+                stage + 1 >= num_stages
+                or self._outbuf_empty_for(stage + 1)
+            )
+            if not outbuf_empty:
+                # Try to push the stragglers out right now.
+                for (buf_stage, dest), buffer in list(self._outgoing.items()):
+                    if buf_stage == stage + 1 and buffer:
+                        self._flush(buf_stage, dest)
+                outbuf_empty = self._outbuf_empty_for(stage + 1)
+            if not self.termination.newly_completable(
+                stage, self.bootstrap_done, self.stage_load[stage],
+                outbuf_empty,
+            ):
+                break
+            self.termination.mark_sent(stage)
+            for machine in range(self.num_machines):
+                if machine != self.machine_id:
+                    self.api.send(machine, Completed(stage))
+                    self.metrics.control_messages_sent += 1
+            if self.termination.stage_globally_complete(stage):
+                self.flow.redistribute_completed_stage(stage)

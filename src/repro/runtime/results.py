@@ -1,0 +1,49 @@
+"""Query result container."""
+
+
+class ResultSet:
+    """An ordered, named-column result table.
+
+    Rows are plain tuples in a deterministic order: the simulated
+    execution is deterministic, and ``ORDER BY`` (when present) sorts
+    during finalization.
+    """
+
+    def __init__(self, columns, rows):
+        self.columns = list(columns)
+        self.rows = list(rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    def column(self, name):
+        """All values of the column *name*."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self):
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def sorted_rows(self):
+        """Rows sorted by repr — handy for order-insensitive comparisons."""
+        return sorted(self.rows, key=repr)
+
+    def __repr__(self):
+        return "ResultSet(columns=%r, rows=%d)" % (self.columns, len(self.rows))
+
+    def pretty(self, limit=20):
+        """A small fixed-width rendering for examples and debugging."""
+        header = " | ".join(self.columns)
+        lines = [header, "-" * len(header)]
+        for row in self.rows[:limit]:
+            lines.append(" | ".join(str(value) for value in row))
+        if len(self.rows) > limit:
+            lines.append("... (%d more rows)" % (len(self.rows) - limit))
+        return "\n".join(lines)

@@ -1,0 +1,304 @@
+"""Traversal frames, computations, and the worker DOWORK loop.
+
+A *computation* is the in-place depth-first traversal of the graph
+within one machine by one or more stages (paper §3.3): an explicit stack
+of frames, rooted either at the bootstrap scan (stage 0) or at a
+received work message.  Workers keep at most one parked computation per
+root stage — the paper's ``State[n, w]`` — and the DOWORK loop services
+stages in descending order so that later-stage work (which produces less
+net future work) drains first, relieving memory pressure.
+"""
+
+import enum
+
+from repro.errors import RuntimeFault
+from repro.runtime.hops import Advance, AllScanItem, CNItem, make_cursor
+
+
+class StageFrame:
+    """The traversal positioned at one vertex of one stage."""
+
+    __slots__ = ("stage_index", "ctx", "vertex", "phase", "cursor",
+                 "cn_payload")
+
+    def __init__(self, stage_index, ctx, vertex, cn_payload=None):
+        self.stage_index = stage_index
+        self.ctx = ctx
+        self.vertex = vertex
+        self.phase = 0  # 0 = vertex function pending, 1 = hopping
+        self.cursor = None
+        self.cn_payload = cn_payload
+
+
+class ScanFrame:
+    """Iterates a set of vertices, spawning a StageFrame for each.
+
+    Used for bootstrapping stage 0 (all local vertices, or the single
+    origin vertex) and for ALL_VERTICES cartesian restarts.
+    """
+
+    __slots__ = ("stage_index", "base_ctx", "vertices", "pos")
+
+    def __init__(self, stage_index, base_ctx, vertices):
+        self.stage_index = stage_index
+        self.base_ctx = base_ctx
+        self.vertices = vertices
+        self.pos = 0
+
+
+class RunStatus(enum.Enum):
+    DONE = "done"          # computation finished (and acked, if a message)
+    BLOCKED = "blocked"    # parked on a refused send
+    BUDGET = "budget"      # out of micro-ops this step
+
+
+class Computation:
+    """A depth-first traversal rooted at one stage on one machine."""
+
+    __slots__ = ("root_stage", "stack", "message", "item_pos", "blocked_on")
+
+    def __init__(self, root_stage, message=None):
+        self.root_stage = root_stage
+        self.stack = []
+        self.message = message
+        self.item_pos = 0
+        #: (stage, dest) of the refused send while parked, else None.
+        self.blocked_on = None
+
+    @classmethod
+    def from_message(cls, message):
+        return cls(message.stage, message=message)
+
+    @classmethod
+    def bootstrap(cls, frame):
+        comp = cls(0)
+        comp.stack.append(frame)
+        return comp
+
+    def has_work(self):
+        if self.stack:
+            return True
+        return (
+            self.message is not None
+            and self.item_pos < len(self.message.items)
+        )
+
+
+def frame_for_item(rt, stage_index, item):
+    """Materialize a work item (local push or message item) as a frame."""
+    if isinstance(item, AllScanItem):
+        return ScanFrame(stage_index, item.ctx, rt.local.local_vertices())
+    if isinstance(item, CNItem):
+        stage = rt.plan.stages[stage_index]
+        vertex = item.ctx[stage.vertex_slot]
+        return StageFrame(stage_index, item.ctx, vertex,
+                          cn_payload=item.candidates)
+    stage = rt.plan.stages[stage_index]
+    return StageFrame(stage_index, item, item[stage.vertex_slot])
+
+
+def run_computation(rt, comp, budget):
+    """Advance *comp* by up to *budget* micro-ops.
+
+    Returns ``(ops_used, RunStatus)``.  The computation only reports
+    DONE once its stack is empty and, for message computations, every
+    item has been consumed — at which point the ack has been sent.
+    """
+    ops = 0
+    while True:
+        if not comp.stack:
+            # Resolve completion before the budget check so a computation
+            # that drains its stack exactly at the budget boundary reports
+            # DONE instead of lingering as a zero-op slot occupant.
+            message = comp.message
+            if message is None or comp.item_pos >= len(message.items):
+                if message is not None:
+                    rt.send_ack(message)
+                return ops, RunStatus.DONE
+            if ops >= budget or rt.sync_wait_flagged():
+                return ops, RunStatus.BUDGET
+            item = message.items[comp.item_pos]
+            comp.item_pos += 1
+            rt.note_item_consumed(comp.root_stage, item)
+            rt.push_frame(comp, frame_for_item(rt, comp.root_stage, item))
+            ops += 1
+            continue
+        if ops >= budget or rt.sync_wait_flagged():
+            return ops, RunStatus.BUDGET
+
+        frame = comp.stack[-1]
+        if isinstance(frame, ScanFrame):
+            ops += 1
+            if frame.pos < len(frame.vertices):
+                vertex = int(frame.vertices[frame.pos])
+                frame.pos += 1
+                child = StageFrame(
+                    frame.stage_index, frame.base_ctx + (vertex,), vertex
+                )
+                rt.push_frame(comp, child)
+            else:
+                rt.pop_frame(comp)
+            continue
+
+        stage = rt.plan.stages[frame.stage_index]
+        if frame.phase == 0:
+            ops += stage.work_cost
+            if not _vertex_function(rt, stage, frame):
+                rt.pop_frame(comp)
+                continue
+            frame.phase = 1
+            frame.cursor = make_cursor(stage, frame, rt)
+            continue
+
+        result = frame.cursor.advance(rt, comp, frame)
+        ops += stage.hop.work_cost
+        if result is Advance.EXHAUSTED:
+            rt.pop_frame(comp)
+        elif result is Advance.BLOCKED:
+            return ops, RunStatus.BLOCKED
+        # PROGRESS: loop
+
+
+def vertex_admissible(rt, stage, ctx, vertex):
+    """The adjacency-free part of the vertex function: label check,
+    vertex-distinctness, compiled filters.
+
+    Shared between the vertex function proper (on the owner machine) and
+    the ghost-node pre-filter, which runs these same checks on the
+    *sending* machine when the target's data is replicated there.
+    """
+    if stage.label_id is not None and \
+            rt.graph.vertex_label(vertex) != stage.label_id:
+        return False
+    for slot in stage.iso_vertex_slots:
+        if ctx[slot] == vertex:
+            return False
+    if stage.filter is not None and not stage.filter(ctx, vertex, -1):
+        return False
+    return True
+
+
+def _vertex_function(rt, stage, frame):
+    """Label check, isomorphism check, filters, induced check, captures.
+
+    Returns False when the vertex fails; True after extending the
+    context with this stage's captures.
+    """
+    vertex = frame.vertex
+    ctx = frame.ctx
+
+    if rt.debug_checks and not rt.local.is_local(vertex):
+        raise RuntimeFault(
+            "stage %d executed on machine %d for remote vertex %d"
+            % (stage.index, rt.machine_id, vertex)
+        )
+
+    rt.stage_visits[stage.index] += 1
+    if not vertex_admissible(rt, stage, ctx, vertex):
+        return False
+    for slot in stage.forbidden_slots:
+        if rt.local.edges_between(vertex, ctx[slot]):
+            return False
+    rt.stage_passes[stage.index] += 1
+    if stage.captures:
+        frame.ctx = ctx + tuple(capture(vertex) for capture in stage.captures)
+    return True
+
+
+class Worker:
+    """One simulated worker thread: per-root-stage computation slots plus
+    the descending-stage DOWORK loop of paper Figure 4."""
+
+    __slots__ = ("rt", "index", "slots", "waiting_for_seq", "debt")
+
+    def __init__(self, rt, index):
+        self.rt = rt
+        self.index = index
+        self.slots = [None] * rt.plan.num_stages
+        #: Blocking mode (ABL4): sequence number of the un-acked message
+        #: this worker is synchronously waiting for.
+        self.waiting_for_seq = None
+        #: Micro-ops consumed beyond a previous tick's budget (an
+        #: indivisible operation may overshoot); repaid before new work so
+        #: the long-run rate never exceeds ``ops_per_tick``.
+        self.debt = 0
+
+    def step(self, budget):
+        """Run up to *budget* micro-op time units; returns time consumed.
+
+        Real ops are accounted into the machine metrics here; the return
+        value is the slice of the tick spent (0 = fully idle).
+        """
+        rt = self.rt
+        if self.debt >= budget:
+            self.debt -= budget
+            return budget  # the whole slice repays earlier overshoot
+        effective = budget - self.debt
+        paid = self.debt
+        self.debt = 0
+
+        if self.waiting_for_seq is not None:
+            if rt.is_acked(self.waiting_for_seq):
+                self.waiting_for_seq = None
+            else:
+                return paid  # synchronous wait burns the slice
+
+        used = 0
+        while used < effective:
+            if rt.sync_wait_flagged():
+                break  # blocking mode: stop right after a remote send
+            progressed = self._dowork_once(effective - used)
+            if progressed == 0:
+                break
+            used += progressed
+        if used == 0:
+            used += rt.idle_progress()
+        rt.metrics.ops += used
+        if used > effective:
+            self.debt = used - effective
+            return budget
+        return paid + used
+
+    def _dowork_once(self, budget):
+        """One DOWORK scan: prefer the latest stage with runnable work."""
+        rt = self.rt
+        for stage_index in range(rt.plan.num_stages - 1, -1, -1):
+            comp = self.slots[stage_index]
+            if comp is None:
+                comp = self._acquire(stage_index)
+                if comp is None:
+                    continue
+                self.slots[stage_index] = comp
+            elif comp.blocked_on is not None:
+                stage, dest = comp.blocked_on
+                if not rt.can_enqueue(stage, dest):
+                    rt.maybe_request_quota(stage, dest)
+                    continue  # still blocked; try earlier stages
+                comp.blocked_on = None
+
+            ops, status = run_computation(rt, comp, budget)
+            if status is RunStatus.DONE:
+                self.slots[stage_index] = None
+            elif status is RunStatus.BLOCKED:
+                comp.blocked_on = rt.last_refused
+            if ops:
+                return ops
+        return 0
+
+    def _acquire(self, stage_index):
+        """New work for *stage_index*: a remote message, a work-shared
+        local continuation, or (stage 0) the next bootstrap chunk."""
+        rt = self.rt
+        message = rt.pop_message(stage_index)
+        if message is not None:
+            return Computation.from_message(message)
+        item = rt.pop_local_item(stage_index)
+        if item is not None:
+            comp = Computation(stage_index)
+            rt.push_frame(comp, frame_for_item(rt, stage_index, item))
+            return comp
+        if stage_index == 0:
+            frame = rt.next_bootstrap_frame()
+            if frame is not None:
+                return Computation.bootstrap(frame)
+        return None

@@ -1,0 +1,24 @@
+"""Benchmark workloads: the BSBM-like e-commerce graph + query 5, and
+the uniform-random-graph / random-pattern-query suite."""
+
+from repro.workloads.bsbm import (
+    BsbmGraph,
+    generate_bsbm,
+    query5,
+    query5_parts,
+)
+from repro.workloads.random_graphs import (
+    random_pattern_query,
+    random_query_suite,
+    split_heavy_fast,
+)
+
+__all__ = [
+    "BsbmGraph",
+    "generate_bsbm",
+    "query5",
+    "query5_parts",
+    "random_pattern_query",
+    "random_query_suite",
+    "split_heavy_fast",
+]

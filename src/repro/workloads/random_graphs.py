@@ -1,0 +1,97 @@
+"""Random-graph workload (paper §4.1, second experiment).
+
+"We use an artificial uniformly random graph ... We evaluate 10 randomly
+selected queries, with four edge patterns each" and split them into
+*heavy* (seconds-scale) and *fast* queries.  This module generates the
+scaled-down equivalent: a seeded uniform random graph (from
+``repro.graph.generators``) plus a deterministic family of random
+pattern queries with a configurable number of edges.
+
+Each random query is a connected pattern whose shape, edge directions,
+and filters are drawn from a seeded RNG.  Filters vary in tightness,
+which is what spreads the workload into heavy and fast queries.
+"""
+
+import random
+
+from repro.graph.generators import uniform_random_graph  # noqa: F401  (re-export)
+
+
+def random_pattern_query(seed, num_edges=4, num_types=8, value_range=10_000):
+    """One random pattern query with *num_edges* edge patterns.
+
+    The pattern is built by growing a random connected shape over
+    variables ``v0 .. vk``: each new edge either extends the frontier
+    with a fresh variable (80%) or closes a cycle between existing ones.
+    Every variable gets a ``type`` equality filter with probability 0.4
+    and a ``value`` range filter with probability 0.3.
+    """
+    rng = random.Random(seed)
+    edges = []
+    num_vars = 1
+    while len(edges) < num_edges:
+        extend = rng.random() < 0.8 or num_vars < 2
+        if extend:
+            src = rng.randrange(num_vars)
+            dst = num_vars
+            num_vars += 1
+        else:
+            src = rng.randrange(num_vars)
+            dst = rng.randrange(num_vars)
+            if src == dst or (src, dst) in edges or (dst, src) in edges:
+                continue
+        if rng.random() < 0.5:
+            src, dst = dst, src
+        edges.append((src, dst))
+
+    constraints = []
+    for var in range(num_vars):
+        if rng.random() < 0.4:
+            constraints.append(
+                "v%d.type = %d" % (var, rng.randrange(num_types))
+            )
+        if rng.random() < 0.3:
+            bound = rng.randrange(value_range)
+            op = rng.choice(["<", ">"])
+            constraints.append("v%d.value %s %d" % (var, op, bound))
+
+    patterns = [
+        "(v%d)-[]->(v%d)" % (src, dst) for src, dst in edges
+    ]
+    select = ", ".join("v%d" % var for var in range(num_vars))
+    where = ", ".join(patterns + constraints)
+    return "SELECT %s WHERE %s" % (select, where)
+
+
+def random_query_suite(num_queries=10, num_edges=4, seed=0, **kwargs):
+    """The experiment's 10 random 4-edge-pattern queries (deterministic)."""
+    return [
+        random_pattern_query(seed * 1000 + index, num_edges=num_edges,
+                             **kwargs)
+        for index in range(num_queries)
+    ]
+
+
+def split_heavy_fast(results_by_query, threshold=None):
+    """Split query measurements into heavy and fast groups.
+
+    *results_by_query* maps query id to a work measure (e.g. total ops on
+    the smallest cluster).  The default threshold is the geometric middle
+    of the observed range, mirroring how the paper separates the
+    seconds-scale queries from the rest.
+    """
+    if not results_by_query:
+        return [], []
+    values = sorted(results_by_query.values())
+    if threshold is None:
+        low, high = max(1, values[0]), max(1, values[-1])
+        threshold = (low * high) ** 0.5
+    heavy = [
+        query for query, value in results_by_query.items()
+        if value >= threshold
+    ]
+    fast = [
+        query for query, value in results_by_query.items()
+        if value < threshold
+    ]
+    return heavy, fast

@@ -1,0 +1,149 @@
+"""Brute-force pattern matching oracle for differential tests.
+
+Deliberately shares *nothing* with the planning pipeline or runtime: it
+enumerates variable assignments by naive backtracking over the parsed
+query AST and evaluates filters with the generic tree-walking evaluator.
+Slow, but trustworthy — only used on small graphs.
+"""
+
+import itertools
+
+from repro.graph.types import Direction
+from repro.pgql import parse_and_validate
+from repro.pgql.expressions import EvalEnv, evaluate, evaluate_predicate
+from repro.plan.options import MatchSemantics
+
+
+class GraphEnv(EvalEnv):
+    """Evaluation environment reading straight from the graph."""
+
+    def __init__(self, graph, vertex_vars):
+        self._graph = graph
+        self._vertex_vars = vertex_vars
+        self._binding = None
+
+    def bind(self, binding):
+        self._binding = binding
+        return self
+
+    def entity_id(self, var):
+        return self._binding[var]
+
+    def prop(self, var, prop):
+        if var in self._vertex_vars:
+            return self._graph.vertex_prop(prop, self._binding[var])
+        return self._graph.edge_prop(prop, self._binding[var])
+
+    def label(self, var):
+        if var in self._vertex_vars:
+            return self._graph.vertex_label_name(self._binding[var])
+        return self._graph.edge_label_name(self._binding[var])
+
+    def has_prop(self, var, prop):
+        if var in self._vertex_vars:
+            return self._graph.has_vertex_prop(prop)
+        return self._graph.has_edge_prop(prop)
+
+
+def _pattern_edges(query):
+    """Normalized (src_var, dst_var, edge_var, label) with OUT direction."""
+    edges = []
+    for path in query.paths:
+        for index, edge in enumerate(path.edges):
+            left = path.vertices[index].var
+            right = path.vertices[index + 1].var
+            if edge.direction is Direction.OUT:
+                edges.append((left, right, edge.var, edge.label))
+            else:
+                edges.append((right, left, edge.var, edge.label))
+    return edges
+
+
+def brute_force_rows(graph, query_text,
+                     semantics=MatchSemantics.HOMOMORPHISM):
+    """All select rows of *query_text*, in arbitrary order.
+
+    Supports everything the engines support except aggregation (the
+    differential tests cover aggregation separately).
+    """
+    query = parse_and_validate(query_text)
+    vertex_vars = query.vertex_vars()
+    vertex_var_set = set(vertex_vars)
+    edges = _pattern_edges(query)
+    env = GraphEnv(graph, vertex_var_set)
+
+    labels = {}
+    for path in query.paths:
+        for vertex in path.vertices:
+            if vertex.label is not None:
+                labels[vertex.var] = vertex.label
+
+    filters = []
+    for path in query.paths:
+        for vertex in path.vertices:
+            if vertex.filter is not None:
+                filters.append(vertex.filter)
+    filters.extend(query.constraints)
+
+    rows = []
+    for assignment in itertools.product(
+        range(graph.num_vertices), repeat=len(vertex_vars)
+    ):
+        binding = dict(zip(vertex_vars, assignment))
+        if semantics is not MatchSemantics.HOMOMORPHISM:
+            if len(set(assignment)) != len(assignment):
+                continue
+        if any(
+            graph.vertex_label_name(binding[var]) != label
+            for var, label in labels.items()
+        ):
+            continue
+
+        # Candidate graph edges per pattern edge.
+        per_edge = []
+        feasible = True
+        for src_var, dst_var, edge_var, label in edges:
+            candidates = [
+                eid
+                for eid in graph.edges_between(binding[src_var],
+                                               binding[dst_var])
+                if label is None or graph.edge_label_name(eid) == label
+            ]
+            if not candidates:
+                feasible = False
+                break
+            per_edge.append(candidates)
+        if not feasible:
+            continue
+
+        if semantics is MatchSemantics.INDUCED:
+            pattern_pairs = {
+                (binding[src], binding[dst]) for src, dst, _e, _l in edges
+            }
+            bad = False
+            for u_var, w_var in itertools.permutations(vertex_vars, 2):
+                u, w = binding[u_var], binding[w_var]
+                if (u, w) in pattern_pairs:
+                    continue
+                if graph.edges_between(u, w):
+                    bad = True
+                    break
+            if bad:
+                continue
+
+        for combo in itertools.product(*per_edge):
+            if semantics is not MatchSemantics.HOMOMORPHISM:
+                if len(set(combo)) != len(combo):
+                    continue
+            full = dict(binding)
+            for (src_var, dst_var, edge_var, label), eid in zip(edges, combo):
+                full[edge_var] = eid
+            env.bind(full)
+            if not all(evaluate_predicate(f, env) for f in filters):
+                continue
+            rows.append(
+                tuple(
+                    evaluate(item.expr, env) for item in query.select_items
+                )
+            )
+    return rows

@@ -1,0 +1,325 @@
+"""Tests for the PGX.D-style BSP analytics engine and algorithms.
+
+Cross-checked against networkx where the models coincide (SSSP, WCC,
+triangle counting) and against an independent numpy power iteration for
+PageRank (networkx collapses parallel edges, our multigraph model does
+not).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, uniform_random_graph
+from repro.analytics import (
+    BspEngine,
+    DegreeCentrality,
+    PageRank,
+    SingleSourceShortestPaths,
+    TriangleCount,
+    VertexProgram,
+    WeaklyConnectedComponents,
+)
+from repro.graph import GraphBuilder, chain_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random_graph(80, 400, seed=5)
+
+
+@pytest.fixture(scope="module")
+def nx_multigraph(graph):
+    nxg = nx.MultiDiGraph()
+    nxg.add_nodes_from(range(graph.num_vertices))
+    for edge in range(graph.num_edges):
+        src, dst = graph.edge_endpoints(edge)
+        nxg.add_edge(src, dst)
+    return nxg
+
+
+def engine(graph, machines=4):
+    return BspEngine(graph, ClusterConfig(num_machines=machines))
+
+
+class TestPageRank:
+    def reference(self, graph, damping, iterations):
+        """Power iteration matching the vertex program's model exactly
+        (multigraph edges count, dangling vertices self-loop)."""
+        n = graph.num_vertices
+        ranks = np.full(n, 1.0 / n)
+        for _ in range(iterations):
+            incoming = np.zeros(n)
+            for vertex in range(n):
+                degree = graph.out_degree(vertex)
+                if degree == 0:
+                    incoming[vertex] += ranks[vertex]
+                    continue
+                share = ranks[vertex] / degree
+                for target in graph.out_neighbors(vertex):
+                    incoming[int(target)] += share
+            ranks = (1.0 - damping) / n + damping * incoming
+        return ranks
+
+    def test_matches_power_iteration(self, graph):
+        result = engine(graph).run(PageRank(iterations=15))
+        expected = self.reference(graph, 0.85, 15)
+        for vertex in range(graph.num_vertices):
+            assert result.values[vertex] == pytest.approx(
+                expected[vertex], abs=1e-9
+            )
+
+    def test_mass_conserved(self, graph):
+        result = engine(graph).run(PageRank(iterations=10))
+        assert sum(result.values.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_machine_count_invariant(self, graph):
+        one = engine(graph, 1).run(PageRank(iterations=8))
+        many = engine(graph, 6).run(PageRank(iterations=8))
+        for vertex in range(graph.num_vertices):
+            assert one.values[vertex] == pytest.approx(
+                many.values[vertex], abs=1e-12
+            )
+
+    def test_early_stop_on_tolerance(self, graph):
+        result = engine(graph).run(
+            PageRank(iterations=100, tolerance=1e-3)
+        )
+        assert result.supersteps < 100
+
+
+class TestSssp:
+    def test_matches_networkx_unweighted(self, graph, nx_multigraph):
+        result = engine(graph).run(SingleSourceShortestPaths(0))
+        expected = nx.single_source_shortest_path_length(nx_multigraph, 0)
+        for vertex in range(graph.num_vertices):
+            assert result.values[vertex] == expected.get(vertex,
+                                                         float("inf"))
+
+    def test_weighted(self):
+        builder = GraphBuilder()
+        for _ in range(4):
+            builder.add_vertex()
+        builder.add_edge(0, 1, w=1.0)
+        builder.add_edge(1, 2, w=1.0)
+        builder.add_edge(0, 2, w=5.0)
+        builder.add_edge(2, 3, w=1.0)
+        graph = builder.build()
+        result = engine(graph, 2).run(
+            SingleSourceShortestPaths(0, weight_prop="w")
+        )
+        assert result.values == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+
+    def test_unreachable_is_inf(self):
+        builder = GraphBuilder()
+        builder.add_vertices(3)
+        builder.add_edge(0, 1)
+        graph = builder.build()
+        result = engine(graph, 2).run(SingleSourceShortestPaths(0))
+        assert result.values[2] == float("inf")
+
+    def test_chain_supersteps_track_diameter(self):
+        graph = chain_graph(12)
+        result = engine(graph, 3).run(SingleSourceShortestPaths(0))
+        assert result.values[11] == 11
+        assert result.supersteps >= 11
+
+
+class TestWcc:
+    def test_matches_networkx(self, graph, nx_multigraph):
+        result = engine(graph).run(WeaklyConnectedComponents())
+        for component in nx.weakly_connected_components(nx_multigraph):
+            labels = {result.values[vertex] for vertex in component}
+            assert labels == {min(component)}
+
+    def test_disconnected(self):
+        builder = GraphBuilder()
+        builder.add_vertices(6)
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 2)
+        builder.add_edge(4, 3)
+        graph = builder.build()
+        result = engine(graph, 3).run(WeaklyConnectedComponents())
+        assert result.values[0] == result.values[1] == result.values[2] == 0
+        assert result.values[3] == result.values[4] == 3
+        assert result.values[5] == 5
+
+
+class TestTriangles:
+    def test_matches_networkx(self, graph, nx_multigraph):
+        result = engine(graph).run(TriangleCount())
+        simple = nx.Graph()
+        simple.add_nodes_from(range(graph.num_vertices))
+        for src, dst in nx_multigraph.edges():
+            if src != dst:
+                simple.add_edge(src, dst)
+        expected = sum(nx.triangles(simple).values()) // 3
+        assert sum(result.values.values()) == expected
+
+    def test_known_triangle(self):
+        builder = GraphBuilder()
+        builder.add_vertices(4)
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 2)
+        builder.add_edge(2, 0)
+        builder.add_edge(2, 3)
+        graph = builder.build()
+        result = engine(graph, 2).run(TriangleCount())
+        assert sum(result.values.values()) == 1
+
+    def test_machine_count_invariant(self, graph):
+        few = engine(graph, 2).run(TriangleCount())
+        many = engine(graph, 7).run(TriangleCount())
+        assert sum(few.values.values()) == sum(many.values.values())
+
+
+class TestKCore:
+    def test_matches_networkx(self, graph, nx_multigraph):
+        from repro.analytics import KCoreDecomposition
+
+        simple = nx.Graph()
+        simple.add_nodes_from(range(graph.num_vertices))
+        for src, dst in nx_multigraph.edges():
+            if src != dst:
+                simple.add_edge(src, dst)
+        expected = nx.core_number(simple)
+        result = engine(graph).run(KCoreDecomposition())
+        for vertex in range(graph.num_vertices):
+            assert result.values[vertex] == expected[vertex]
+
+    def test_clique_core(self):
+        from repro.analytics import KCoreDecomposition
+        from repro.graph import complete_graph
+
+        graph = complete_graph(5)
+        result = engine(graph, 2).run(KCoreDecomposition())
+        assert all(value == 4 for value in result.values.values())
+
+    def test_machine_count_invariant(self, graph):
+        from repro.analytics import KCoreDecomposition
+
+        few = engine(graph, 2).run(KCoreDecomposition())
+        many = engine(graph, 6).run(KCoreDecomposition())
+        assert few.values == many.values
+
+
+class TestClusteringCoefficient:
+    def test_matches_networkx(self, graph, nx_multigraph):
+        from repro.analytics import LocalClusteringCoefficient
+
+        simple = nx.Graph()
+        simple.add_nodes_from(range(graph.num_vertices))
+        for src, dst in nx_multigraph.edges():
+            if src != dst:
+                simple.add_edge(src, dst)
+        expected = nx.clustering(simple)
+        result = engine(graph).run(LocalClusteringCoefficient())
+        for vertex in range(graph.num_vertices):
+            assert result.values[vertex] == pytest.approx(expected[vertex])
+
+    def test_triangle_is_fully_clustered(self):
+        from repro.analytics import LocalClusteringCoefficient
+        from repro.graph import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.add_vertices(3)
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 2)
+        builder.add_edge(2, 0)
+        graph = builder.build()
+        result = engine(graph, 2).run(LocalClusteringCoefficient())
+        assert all(
+            value == pytest.approx(1.0) for value in result.values.values()
+        )
+
+
+class TestHits:
+    def test_top_scores_track_networkx(self, graph, nx_multigraph):
+        """Our alternating-normalization variant agrees with networkx on
+        which vertices are the strongest hubs and authorities."""
+        from repro.analytics import HITS
+
+        result = engine(graph).run(HITS(iterations=30))
+        directed = nx.DiGraph(nx_multigraph)
+        nx_hubs, nx_auths = nx.hits(directed, max_iter=500)
+
+        def top(values, k=5):
+            return set(sorted(values, key=values.get, reverse=True)[:k])
+
+        my_hubs = {v: result.values[v][0] for v in range(graph.num_vertices)}
+        my_auths = {v: result.values[v][1] for v in range(graph.num_vertices)}
+        assert len(top(my_hubs) & top(nx_hubs)) >= 4
+        assert len(top(my_auths) & top(nx_auths)) >= 4
+
+    def test_scores_nonnegative(self, graph):
+        from repro.analytics import HITS
+
+        result = engine(graph, 3).run(HITS(iterations=10))
+        for hub, authority in result.values.values():
+            assert hub >= 0.0
+            assert authority >= 0.0
+
+
+class TestFramework:
+    def test_degree_program(self, graph):
+        result = engine(graph).run(DegreeCentrality())
+        for vertex in range(graph.num_vertices):
+            assert result.values[vertex] == graph.out_degree(vertex)
+        assert result.supersteps == 1
+
+    def test_metrics_populated(self, graph):
+        result = engine(graph).run(PageRank(iterations=5))
+        assert result.metrics.ticks > 0
+        assert result.metrics.work_messages > 0
+
+    def test_single_machine_no_messages(self, graph):
+        result = engine(graph, 1).run(PageRank(iterations=5))
+        assert result.metrics.work_messages == 0
+
+    def test_custom_program(self, graph):
+        class SumNeighborTypes(VertexProgram):
+            max_supersteps = 2
+
+            def init(self, ctx, vertex):
+                return 0
+
+            def compute(self, ctx, vertex, state, messages):
+                if ctx.superstep == 0:
+                    my_type = ctx.vertex_prop("type")
+                    for target in ctx.out_neighbors():
+                        ctx.send(int(target), my_type)
+                    ctx.vote_to_halt()
+                    return 0
+                ctx.vote_to_halt()
+                return sum(messages)
+
+        result = engine(graph).run(SumNeighborTypes())
+        expected = {v: 0 for v in range(graph.num_vertices)}
+        for edge in range(graph.num_edges):
+            src, dst = graph.edge_endpoints(edge)
+            expected[dst] += graph.vertex_prop("type", src)
+        assert result.values == expected
+
+    def test_aggregator_visible_next_superstep(self, graph):
+        seen = []
+
+        class Probe(VertexProgram):
+            max_supersteps = 3
+
+            def init(self, ctx, vertex):
+                return 1
+
+            def compute(self, ctx, vertex, state, messages):
+                if vertex == 0:
+                    seen.append((ctx.superstep, ctx.previous_aggregate))
+                # Keep every vertex active for all three supersteps.
+                ctx.send(vertex, 0)
+                return 1
+
+            def aggregate(self, state):
+                return state
+
+        engine(graph, 2).run(Probe())
+        aggregates = dict(seen)
+        assert aggregates.get(1) == graph.num_vertices
+        assert aggregates.get(2) == graph.num_vertices

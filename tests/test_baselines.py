@@ -1,0 +1,139 @@
+"""Unit/integration tests for the three baseline engines."""
+
+import pytest
+
+from repro import ClusterConfig, PlannerOptions, run_query
+from repro.baselines import BftEngine, JoinEngine, SharedMemoryEngine
+from repro.errors import PlanError
+from repro.plan import MatchSemantics
+
+
+class TestSharedMemoryEngine:
+    def test_matches_distributed(self, random_graph):
+        query = "SELECT a, b WHERE (a)-[]->(b), a.value > b.value"
+        single = SharedMemoryEngine(random_graph).query(query)
+        distributed = run_query(
+            random_graph, query, ClusterConfig(num_machines=3)
+        )
+        assert sorted(single.rows) == sorted(distributed.rows)
+
+    def test_counts_ops(self, random_graph):
+        result = SharedMemoryEngine(random_graph).query(
+            "SELECT a WHERE (a)-[]->(b)"
+        )
+        assert result.metrics.total_ops > random_graph.num_vertices
+        assert result.metrics.ticks >= 1
+
+    def test_supports_all_semantics(self, random_graph):
+        for semantics in MatchSemantics:
+            result = SharedMemoryEngine(random_graph).query(
+                "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c)",
+                PlannerOptions(semantics=semantics),
+            )
+            assert result.metrics.num_results == len(result.rows) or \
+                result.metrics.num_results >= len(result.rows)
+
+    def test_supports_common_neighbor_plans(self, random_graph):
+        query = "SELECT a, c, b WHERE (a)-[]->(c)<-[]-(b)"
+        plain = SharedMemoryEngine(random_graph).query(query)
+        optimized = SharedMemoryEngine(random_graph).query(
+            query, PlannerOptions(use_common_neighbors=True)
+        )
+        assert sorted(plain.rows) == sorted(optimized.rows)
+
+    def test_single_vertex_origin(self, social_graph):
+        result = SharedMemoryEngine(social_graph).query(
+            "SELECT v, b WHERE (v WITH id() = 0)-[]->(b)"
+        )
+        assert sorted(result.rows) == [(0, 1), (0, 4)]
+
+    def test_aggregation(self, social_graph):
+        result = SharedMemoryEngine(social_graph).query(
+            "SELECT COUNT(*) WHERE (a:person)"
+        )
+        assert result.rows == [(4,)]
+
+
+class TestBftEngine:
+    def test_matches_reference(self, random_graph):
+        query = "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c), a.type = 0"
+        reference = SharedMemoryEngine(random_graph).query(query)
+        bft = BftEngine(random_graph, ClusterConfig(num_machines=4))
+        result = bft.query(query)
+        assert sorted(result.rows) == sorted(reference.rows)
+
+    def test_intermediate_state_explosion(self, random_graph):
+        """The §1 claim: BFT materializes far more state than async DFT."""
+        query = "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c)"
+        config = ClusterConfig(num_machines=4)
+        bft = BftEngine(random_graph, config).query(query)
+        dft = run_query(random_graph, query, config)
+        assert bft.metrics.peak_buffered_contexts > \
+            5 * dft.metrics.peak_buffered_contexts
+
+    def test_single_vertex_origin(self, social_graph):
+        bft = BftEngine(social_graph, ClusterConfig(num_machines=2))
+        result = bft.query("SELECT v, b WHERE (v WITH id() = 0)-[]->(b)")
+        assert sorted(result.rows) == [(0, 1), (0, 4)]
+
+    def test_rejects_common_neighbor_plans(self, random_graph):
+        bft = BftEngine(random_graph, ClusterConfig(num_machines=2))
+        with pytest.raises(PlanError):
+            bft.query(
+                "SELECT a WHERE (a)-[]->(c)<-[]-(b)",
+                PlannerOptions(use_common_neighbors=True),
+            )
+
+    def test_barrier_cost_scales_with_stages(self, random_graph):
+        config = ClusterConfig(num_machines=4)
+        short = BftEngine(random_graph, config).query(
+            "SELECT a WHERE (a WITH type = 3)"
+        )
+        unmatched = BftEngine(random_graph, config).query(
+            "SELECT a, b, c WHERE (a WITH value > 999999)-[]->(b)-[]->(c)"
+        )
+        # Even with no matches, every superstep pays its barrier.
+        assert unmatched.metrics.ticks > short.metrics.ticks
+
+
+class TestJoinEngine:
+    def test_matches_reference(self, random_graph):
+        query = "SELECT a, b WHERE (a)-[]->(b), a.type = b.type"
+        reference = SharedMemoryEngine(random_graph).query(query)
+        result = JoinEngine(random_graph).query(query)
+        assert sorted(result.rows) == sorted(reference.rows)
+
+    def test_peak_rows_tracks_intermediates(self, random_graph):
+        result = JoinEngine(random_graph).query(
+            "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c)"
+        )
+        assert result.metrics.peak_buffered_contexts >= len(result.rows)
+
+    def test_edge_check_join(self, social_graph):
+        result = JoinEngine(social_graph).query(
+            "SELECT a, b WHERE (a)-[:friend]->(b), (b)-[:friend]->(a)"
+        )
+        assert result.rows == []
+
+    def test_edge_labels(self, social_graph):
+        result = JoinEngine(social_graph).query(
+            "SELECT a, i WHERE (a)-[:bought]->(i)"
+        )
+        assert len(result.rows) == 3
+
+    def test_unknown_label_matches_nothing(self, social_graph):
+        result = JoinEngine(social_graph).query(
+            "SELECT a, b WHERE (a)-[:ghost]->(b)"
+        )
+        assert result.rows == []
+
+    def test_rejects_aggregates(self, social_graph):
+        with pytest.raises(PlanError):
+            JoinEngine(social_graph).query("SELECT COUNT(*) WHERE (a)")
+
+    def test_rejects_isomorphism(self, social_graph):
+        with pytest.raises(PlanError):
+            JoinEngine(social_graph).query(
+                "SELECT a WHERE (a)-[]->(b)",
+                PlannerOptions(semantics=MatchSemantics.ISOMORPHISM),
+            )

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, load_graph, main
+
+
+class TestParser:
+    def test_query_args(self):
+        args = build_parser().parse_args(
+            ["query", "--random", "100x400", "--machines", "2",
+             "SELECT a WHERE (a)"]
+        )
+        assert args.command == "query"
+        assert args.machines == 2
+        assert args.pgql == "SELECT a WHERE (a)"
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "--bsbm", "100", "pagerank", "--iterations", "5"]
+        )
+        assert args.command == "analyze"
+        assert args.algorithm == "pagerank"
+        assert args.iterations == 5
+
+    def test_graph_source_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "SELECT a WHERE (a)"])
+
+
+class TestLoadGraph:
+    def test_random(self):
+        args = build_parser().parse_args(
+            ["query", "--random", "50x200", "SELECT a WHERE (a)"]
+        )
+        graph = load_graph(args)
+        assert graph.num_vertices == 50
+        assert graph.num_edges == 200
+
+    def test_random_bad_format(self):
+        args = build_parser().parse_args(
+            ["query", "--random", "50:200", "SELECT a WHERE (a)"]
+        )
+        with pytest.raises(SystemExit):
+            load_graph(args)
+
+    def test_bsbm(self):
+        args = build_parser().parse_args(
+            ["query", "--bsbm", "50", "SELECT a WHERE (a)"]
+        )
+        graph = load_graph(args)
+        assert graph.num_vertices > 50
+
+    def test_json_file(self, tmp_path, social_graph):
+        from repro.graph import save_json
+
+        path = tmp_path / "g.json"
+        save_json(social_graph, path)
+        args = build_parser().parse_args(
+            ["query", "--graph", str(path), "SELECT a WHERE (a)"]
+        )
+        graph = load_graph(args)
+        assert graph.num_vertices == social_graph.num_vertices
+
+    def test_edge_list_file(self, tmp_path, social_graph):
+        from repro.graph import save_edge_list
+
+        path = tmp_path / "g.el"
+        save_edge_list(social_graph, path)
+        args = build_parser().parse_args(
+            ["query", "--graph", str(path), "SELECT a WHERE (a)"]
+        )
+        graph = load_graph(args)
+        assert graph.num_edges == social_graph.num_edges
+
+
+class TestEndToEnd:
+    def test_query_command(self, capsys):
+        code = main(
+            ["query", "--random", "60x240", "--machines", "2",
+             "SELECT a, b WHERE (a)-[]->(b), a.value > 9000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows" in out
+        assert "ticks=" in out
+
+    def test_explain_command(self, capsys):
+        code = main(
+            ["query", "--random", "60x240", "--explain",
+             "SELECT a, b WHERE (a)-[]->(b)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Stage 0" in out
+        assert "output" in out
+
+    def test_query_with_options(self, capsys):
+        code = main(
+            ["query", "--random", "60x240", "--schedule",
+             "--semantics", "isomorphism",
+             "SELECT a, b WHERE (a)-[]->(b WITH type = 1)"]
+        )
+        assert code == 0
+
+    @pytest.mark.parametrize(
+        "algorithm", ["pagerank", "wcc", "sssp", "triangles", "degree"]
+    )
+    def test_analyze_command(self, capsys, algorithm):
+        code = main(
+            ["analyze", "--random", "60x240", "--machines", "2", algorithm,
+             "--iterations", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "supersteps:" in out

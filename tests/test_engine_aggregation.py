@@ -1,0 +1,142 @@
+"""Integration tests for aggregation, grouping, ordering, limits (§5)."""
+
+import pytest
+
+from repro import ClusterConfig, run_query
+
+
+def run(graph, query, machines=3):
+    return run_query(
+        graph, query, ClusterConfig(num_machines=machines),
+        debug_checks=True,
+    )
+
+
+class TestAggregates:
+    def test_count_star(self, social_graph):
+        result = run(social_graph, "SELECT COUNT(*) WHERE (a)-[:friend]->(b)")
+        assert result.rows == [(3,)]
+
+    def test_sum_avg_min_max(self, social_graph):
+        result = run(
+            social_graph,
+            "SELECT SUM(a.age), AVG(a.age), MIN(a.age), MAX(a.age) "
+            "WHERE (a:person)",
+        )
+        assert result.rows == [(89, 89 / 4, 16, 31)]
+
+    def test_count_distinct(self, social_graph):
+        # Buyers: 0, 1, 3 -> three distinct, but 0 and 1 both bought laptop.
+        result = run(
+            social_graph,
+            "SELECT COUNT(DISTINCT i) WHERE (a)-[:bought]->(i)",
+        )
+        assert result.rows == [(2,)]
+
+    def test_empty_match_yields_no_groups(self, social_graph):
+        result = run(
+            social_graph, "SELECT COUNT(*) WHERE (a WITH age > 999)"
+        )
+        assert result.rows == []
+
+    def test_aggregate_arithmetic(self, social_graph):
+        result = run(
+            social_graph,
+            "SELECT SUM(a.age) / COUNT(*) WHERE (a:person)",
+        )
+        assert result.rows == [(89 / 4,)]
+
+
+class TestGroupBy:
+    def test_group_counts(self, social_graph):
+        result = run(
+            social_graph,
+            "SELECT a.label() AS kind, COUNT(*) WHERE (a) "
+            "GROUP BY a.label() ORDER BY kind",
+        )
+        assert result.rows == [("item", 2), ("person", 4)]
+
+    def test_group_by_expression(self, social_graph):
+        result = run(
+            social_graph,
+            "SELECT a.age - a.age % 10 AS decade, COUNT(*) WHERE (a:person) "
+            "GROUP BY a.age - a.age % 10 ORDER BY decade",
+        )
+        assert result.rows == [(10, 2), (20, 1), (30, 1)]
+
+    def test_having(self, social_graph):
+        result = run(
+            social_graph,
+            "SELECT i.name, COUNT(*) WHERE (a)-[:bought]->(i) "
+            "GROUP BY i.name HAVING COUNT(*) > 1",
+        )
+        assert result.rows == [("laptop", 2)]
+
+
+class TestOrderLimit:
+    def test_order_by_asc_desc(self, social_graph):
+        result = run(
+            social_graph,
+            "SELECT a.name, a.age WHERE (a:person) ORDER BY a.age DESC",
+        )
+        ages = [row[1] for row in result.rows]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_multi_key_order(self, social_graph):
+        result = run(
+            social_graph,
+            "SELECT a.label(), a.name WHERE (a) "
+            "ORDER BY a.label(), a.name DESC",
+        )
+        labels = [row[0] for row in result.rows]
+        assert labels == sorted(labels)
+        item_names = [row[1] for row in result.rows if row[0] == "item"]
+        assert item_names == sorted(item_names, reverse=True)
+
+    def test_limit(self, social_graph):
+        result = run(
+            social_graph,
+            "SELECT a WHERE (a) ORDER BY a.age LIMIT 2",
+        )
+        assert len(result.rows) == 2
+
+    def test_limit_zero(self, social_graph):
+        result = run(social_graph, "SELECT a WHERE (a) LIMIT 0")
+        assert result.rows == []
+
+    def test_order_by_alias(self, social_graph):
+        result = run(
+            social_graph,
+            "SELECT a.age * 2 AS dbl WHERE (a:person) ORDER BY dbl",
+        )
+        values = [row[0] for row in result.rows]
+        assert values == sorted(values)
+
+
+class TestAggregationMatchesManualComputation:
+    def test_group_sums(self, random_graph):
+        result = run(
+            random_graph,
+            "SELECT a.type, SUM(b.value) WHERE (a)-[]->(b) "
+            "GROUP BY a.type ORDER BY a.type",
+            machines=4,
+        )
+        expected = {}
+        for edge in range(random_graph.num_edges):
+            src, dst = random_graph.edge_endpoints(edge)
+            key = random_graph.vertex_prop("type", src)
+            expected[key] = expected.get(key, 0) + \
+                random_graph.vertex_prop("value", dst)
+        assert result.rows == [
+            (key, expected[key]) for key in sorted(expected)
+        ]
+
+    @pytest.mark.parametrize("machines", [1, 2, 5])
+    def test_aggregation_independent_of_cluster_size(self, random_graph,
+                                                     machines):
+        query = (
+            "SELECT COUNT(*), AVG(a.value) WHERE (a)-[]->(b), b.type = 1"
+        )
+        result = run(random_graph, query, machines=machines)
+        reference = run(random_graph, query, machines=1)
+        assert result.rows == reference.rows

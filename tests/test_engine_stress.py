@@ -1,0 +1,152 @@
+"""Stress and corner-case tests of the full engine.
+
+These exist to catch protocol bugs — premature termination, lost
+contexts, ack/window leaks — under adversarial configurations: many
+machines relative to the graph, minimal budgets, extreme latencies,
+degenerate graphs.
+"""
+
+import pytest
+
+from repro import ClusterConfig, run_query
+from repro.baselines import SharedMemoryEngine
+from repro.graph import (
+    BlockPartitioner,
+    DistributedGraph,
+    GraphBuilder,
+    chain_graph,
+    star_graph,
+    uniform_random_graph,
+)
+from repro.runtime import PgxdAsyncEngine
+
+
+class TestManyMachinesSmallGraph:
+    def test_more_machines_than_vertices(self):
+        graph = chain_graph(4)
+        result = run_query(
+            graph,
+            "SELECT a, b WHERE (a)-[]->(b)",
+            ClusterConfig(num_machines=8),
+            debug_checks=True,
+        )
+        assert len(result.rows) == 3
+
+    def test_empty_machines_complete(self):
+        # Machines owning nothing must still run the protocol to the end.
+        graph = star_graph(3)
+        result = run_query(
+            graph,
+            "SELECT h, l WHERE (h)-[]->(l)",
+            ClusterConfig(num_machines=6),
+        )
+        assert len(result.rows) == 3
+
+
+class TestExtremeConfigs:
+    @pytest.mark.parametrize("latency", [0, 1, 64])
+    def test_latency_sweep(self, latency):
+        graph = uniform_random_graph(40, 160, seed=6)
+        result = run_query(
+            graph,
+            "SELECT a, b WHERE (a)-[]->(b), a.type != b.type",
+            ClusterConfig(num_machines=3, network_latency=latency),
+        )
+        reference = SharedMemoryEngine(graph).query(
+            "SELECT a, b WHERE (a)-[]->(b), a.type != b.type"
+        )
+        assert sorted(result.rows) == sorted(reference.rows)
+
+    def test_minimal_everything(self):
+        graph = uniform_random_graph(60, 240, seed=8)
+        config = ClusterConfig(
+            num_machines=5,
+            workers_per_machine=1,
+            ops_per_tick=1,
+            bulk_message_size=1,
+            flow_control_window=1,
+            network_latency=16,
+        )
+        result = run_query(
+            graph, "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c)", config
+        )
+        reference = SharedMemoryEngine(graph).query(
+            "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c)"
+        )
+        assert sorted(result.rows) == sorted(reference.rows)
+
+    def test_unlimited_sender_rate(self):
+        graph = uniform_random_graph(40, 160, seed=2)
+        result = run_query(
+            graph,
+            "SELECT a, b WHERE (a)-[]->(b)",
+            ClusterConfig(num_machines=3, sender_messages_per_tick=0),
+        )
+        assert len(result.rows) == graph.num_edges
+
+
+class TestSkewedPartitions:
+    def test_block_partition_hotspot(self):
+        # All of a star's leaves on one machine: heavy cross traffic.
+        graph = star_graph(200, direction="out")
+        dist = DistributedGraph.create(
+            graph, 4, partitioner=BlockPartitioner()
+        )
+        engine = PgxdAsyncEngine(
+            dist, ClusterConfig(num_machines=4, flow_control_window=1,
+                                bulk_message_size=2)
+        )
+        result = engine.query("SELECT h, l WHERE (h)-[]->(l)")
+        assert len(result.rows) == 200
+
+
+class TestDegenerateGraphs:
+    def test_all_self_loops(self):
+        builder = GraphBuilder()
+        for index in range(10):
+            builder.add_vertex()
+        for index in range(10):
+            builder.add_edge(index, index)
+        graph = builder.build()
+        result = run_query(
+            graph,
+            "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c)",
+            ClusterConfig(num_machines=3),
+        )
+        # Each self loop matches with a = b = c.
+        assert sorted(result.rows) == [(i, i, i) for i in range(10)]
+
+    def test_no_edges(self):
+        builder = GraphBuilder()
+        builder.add_vertices(20)
+        graph = builder.build()
+        result = run_query(
+            graph,
+            "SELECT a, b WHERE (a)-[]->(b)",
+            ClusterConfig(num_machines=4),
+        )
+        assert result.rows == []
+
+    def test_dense_clique_bounded_memory(self):
+        from repro.graph import complete_graph
+
+        graph = complete_graph(16)
+        config = ClusterConfig(
+            num_machines=4, flow_control_window=1, bulk_message_size=2
+        )
+        result = run_query(
+            graph, "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c)", config
+        )
+        # 16 * 15 * 15 paths (b != a and c != b, homomorphism allows c=a).
+        assert len(result.rows) == 16 * 15 * 15
+        assert result.metrics.peak_buffered_contexts < len(result.rows) / 10
+
+
+class TestRepeatedExecution:
+    def test_engine_is_stateless_between_queries(self):
+        graph = uniform_random_graph(50, 200, seed=12)
+        engine = PgxdAsyncEngine(graph, ClusterConfig(num_machines=3))
+        query = "SELECT a, b WHERE (a)-[]->(b), a.value > b.value"
+        runs = [engine.query(query) for _ in range(3)]
+        assert runs[0].rows == runs[1].rows == runs[2].rows
+        assert runs[0].metrics.ticks == runs[2].metrics.ticks

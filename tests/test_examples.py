@@ -1,0 +1,34 @@
+"""Smoke tests: the example scripts must run end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, timeout=240):
+    path = os.path.join(EXAMPLES_DIR, name)
+    return subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=False,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "minors with expensive purchases" in proc.stdout
+        assert "guitar" in proc.stdout
+
+    @pytest.mark.slow
+    def test_memory_bounds(self):
+        proc = run_example("memory_bounds.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "BFT baseline peak" in proc.stdout

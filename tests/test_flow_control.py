@@ -1,0 +1,143 @@
+"""Unit tests for the flow control manager (paper §3.3)."""
+
+import pytest
+
+from repro.errors import FlowControlError
+from repro.runtime.flow_control import FlowControl
+
+
+def make(num_stages=3, num_machines=4, window=2, dynamic=True):
+    return FlowControl(num_stages, num_machines, 0, window, dynamic=dynamic)
+
+
+class TestWindows:
+    def test_window_enforced(self):
+        flow = make(window=2)
+        assert flow.can_send(1, 2)
+        flow.on_send(1, 2)
+        flow.on_send(1, 2)
+        assert not flow.can_send(1, 2)
+
+    def test_windows_are_per_stage_and_dest(self):
+        flow = make(window=1)
+        flow.on_send(1, 2)
+        assert flow.can_send(1, 3)
+        assert flow.can_send(2, 2)
+        assert not flow.can_send(1, 2)
+
+    def test_send_without_window_raises(self):
+        flow = make(window=1)
+        flow.on_send(0, 1)
+        with pytest.raises(FlowControlError):
+            flow.on_send(0, 1)
+
+    def test_ack_frees_window(self):
+        flow = make(window=1)
+        flow.on_send(0, 1)
+        flow.on_ack_from(0, 1, 1)
+        assert flow.can_send(0, 1)
+
+    def test_negative_inflight_raises(self):
+        flow = make()
+        with pytest.raises(FlowControlError):
+            flow.on_ack_from(0, 1, 1)
+
+    def test_inflight_total(self):
+        flow = make()
+        flow.on_send(0, 1)
+        flow.on_send(1, 2)
+        assert flow.inflight_total() == 2
+
+
+class TestRedistribution:
+    def test_completed_stage_capacity_moves_later(self):
+        flow = make(num_stages=4, window=3)
+        flow.redistribute_completed_stage(0)
+        assert flow.limit(0, 1) == 0
+        # 3 slots split across stages 1..3 -> +1 each.
+        assert flow.limit(1, 1) == 4
+        assert flow.limit(2, 1) == 4
+        assert flow.limit(3, 1) == 4
+
+    def test_uneven_split_remainder(self):
+        flow = make(num_stages=3, window=3)
+        flow.redistribute_completed_stage(0)
+        # 3 slots over stages 1, 2 -> 2 and 1 extra.
+        assert flow.limit(1, 1) == 5
+        assert flow.limit(2, 1) == 4
+
+    def test_idempotent(self):
+        flow = make(num_stages=3, window=2)
+        flow.redistribute_completed_stage(0)
+        limit = flow.limit(1, 1)
+        flow.redistribute_completed_stage(0)
+        assert flow.limit(1, 1) == limit
+
+    def test_last_stage_redistribution_is_noop(self):
+        flow = make(num_stages=3, window=2)
+        flow.redistribute_completed_stage(2)
+        assert flow.limit(2, 1) == 2
+
+    def test_static_mode_disables(self):
+        flow = make(dynamic=False)
+        flow.redistribute_completed_stage(0)
+        assert flow.limit(0, 1) == 2
+        assert flow.limit(1, 1) == 2
+
+
+class TestBorrowing:
+    def test_wants_quota_when_exhausted(self):
+        flow = make(window=1)
+        assert not flow.wants_quota(0, 1)
+        flow.on_send(0, 1)
+        assert flow.wants_quota(0, 1)
+
+    def test_no_repeat_requests(self):
+        flow = make(window=1)
+        flow.on_send(0, 1)
+        flow.note_quota_requested(0, 1)
+        assert not flow.wants_quota(0, 1)
+
+    def test_grant_extends_window(self):
+        flow = make(window=1)
+        flow.on_send(0, 1)
+        flow.note_quota_requested(0, 1)
+        flow.on_quota_grant(0, 1, 2)
+        assert flow.can_send(0, 1)
+        # A later exhaustion may request again.
+        flow.on_send(0, 1)
+        flow.on_send(0, 1)
+        assert flow.wants_quota(0, 1)
+
+    def test_donation_gives_half_of_spare(self):
+        flow = make(window=4)
+        donated = flow.donate_quota(0, 1)
+        assert donated == 2
+        assert flow.limit(0, 1) == 2
+
+    def test_donation_keeps_a_slot(self):
+        flow = make(window=1)
+        assert flow.donate_quota(0, 1) == 0
+        assert flow.limit(0, 1) == 1
+
+    def test_donation_respects_inflight(self):
+        flow = make(window=4)
+        flow.on_send(0, 1)
+        flow.on_send(0, 1)
+        flow.on_send(0, 1)
+        # spare = 1 -> donate 0 (half rounds down).
+        assert flow.donate_quota(0, 1) == 0
+
+    def test_static_mode_never_borrows(self):
+        flow = make(window=1, dynamic=False)
+        flow.on_send(0, 1)
+        assert not flow.wants_quota(0, 1)
+        assert flow.donate_quota(0, 2) == 0
+
+    def test_receiver_allowance_conserved(self):
+        """Donation moves capacity; the sum across senders is constant."""
+        donor = make(window=4)
+        requester = make(window=4)
+        amount = donor.donate_quota(1, 2)
+        requester.on_quota_grant(1, 2, amount)
+        assert donor.limit(1, 2) + requester.limit(1, 2) == 8

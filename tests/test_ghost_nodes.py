@@ -1,0 +1,117 @@
+"""Tests for PGX.D-style ghost nodes (replicated high-degree vertices).
+
+The paper disables this PGX.D feature for its experiments; we implement
+it as an optional substrate capability: vertices whose total degree
+reaches the threshold have their properties and label readable from any
+machine, letting the runtime pre-filter remote hops to them.
+"""
+
+import pytest
+
+from repro import ClusterConfig
+from repro.baselines import SharedMemoryEngine
+from repro.errors import RemoteAccessError
+from repro.graph import DistributedGraph, power_law_graph, star_graph
+from repro.runtime import PgxdAsyncEngine
+
+
+@pytest.fixture(scope="module")
+def hub_graph():
+    return power_law_graph(200, 1_600, seed=19, num_types=4)
+
+
+class TestGhostSelection:
+    def test_threshold_selects_hubs(self, hub_graph):
+        dist = DistributedGraph.create(hub_graph, 3, ghost_threshold=50)
+        assert 0 < dist.num_ghosts < hub_graph.num_vertices
+        local = dist.local(0)
+        for vertex in range(hub_graph.num_vertices):
+            degree = hub_graph.out_degree(vertex) + hub_graph.in_degree(vertex)
+            assert local.is_ghost(vertex) == (degree >= 50)
+
+    def test_disabled_by_default(self, hub_graph):
+        dist = DistributedGraph.create(hub_graph, 3)
+        assert dist.num_ghosts == 0
+
+    def test_ghost_props_readable_anywhere(self, hub_graph):
+        dist = DistributedGraph.create(hub_graph, 3, ghost_threshold=50)
+        local = dist.local(0)
+        ghost = next(
+            v for v in range(hub_graph.num_vertices)
+            if local.is_ghost(v) and not local.is_local(v)
+        )
+        # Properties and label: allowed.
+        local.vertex_prop("type", ghost)
+        local.vertex_label(ghost)
+        assert local.is_readable(ghost)
+        # Adjacency: still owner-only.
+        with pytest.raises(RemoteAccessError):
+            local.out_edges(ghost)
+
+    def test_non_ghost_still_protected(self, hub_graph):
+        dist = DistributedGraph.create(hub_graph, 3, ghost_threshold=50)
+        local = dist.local(0)
+        remote = next(
+            v for v in range(hub_graph.num_vertices)
+            if not local.is_local(v) and not local.is_ghost(v)
+        )
+        with pytest.raises(RemoteAccessError):
+            local.vertex_prop("type", remote)
+
+
+class TestGhostPrefilter:
+    QUERY = "SELECT a, b WHERE (a)-[]->(b WITH type = 1), a.value > 5000"
+
+    def test_results_unchanged(self, hub_graph):
+        config = ClusterConfig(num_machines=4)
+        plain = PgxdAsyncEngine(
+            DistributedGraph.create(hub_graph, 4), config
+        ).query(self.QUERY)
+        ghosted = PgxdAsyncEngine(
+            DistributedGraph.create(hub_graph, 4, ghost_threshold=30),
+            config,
+        ).query(self.QUERY)
+        reference = SharedMemoryEngine(hub_graph).query(self.QUERY)
+        assert sorted(plain.rows) == sorted(reference.rows)
+        assert sorted(ghosted.rows) == sorted(reference.rows)
+
+    def test_prunes_reduce_traffic(self, hub_graph):
+        config = ClusterConfig(num_machines=4)
+        plain = PgxdAsyncEngine(
+            DistributedGraph.create(hub_graph, 4), config
+        ).query(self.QUERY)
+        ghosted = PgxdAsyncEngine(
+            DistributedGraph.create(hub_graph, 4, ghost_threshold=30),
+            config,
+        ).query(self.QUERY)
+        assert ghosted.metrics.ghost_prunes > 0
+        assert plain.metrics.ghost_prunes == 0
+        assert ghosted.metrics.contexts_shipped < \
+            plain.metrics.contexts_shipped
+
+    def test_star_hub_fully_ghosted(self):
+        graph = star_graph(100, direction="in")
+        # Leaves all point at the hub; the hub gets ghosted and a filter
+        # that rejects it prunes every remote message to it.
+        builder_query = "SELECT l, h WHERE (l)-[]->(h WITH id() < 0)"
+        config = ClusterConfig(num_machines=4)
+        ghosted = PgxdAsyncEngine(
+            DistributedGraph.create(graph, 4, ghost_threshold=50), config
+        ).query(builder_query)
+        assert ghosted.rows == []
+        assert ghosted.metrics.work_messages == 0
+
+    def test_isomorphism_with_ghosts(self, hub_graph):
+        from repro.plan import MatchSemantics, PlannerOptions
+
+        options = PlannerOptions(semantics=MatchSemantics.ISOMORPHISM)
+        query = "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c)"
+        config = ClusterConfig(num_machines=3)
+        plain = PgxdAsyncEngine(
+            DistributedGraph.create(hub_graph, 3), config
+        ).query(query, options)
+        ghosted = PgxdAsyncEngine(
+            DistributedGraph.create(hub_graph, 3, ghost_threshold=30),
+            config,
+        ).query(query, options)
+        assert sorted(plain.rows) == sorted(ghosted.rows)

@@ -1,0 +1,89 @@
+"""Unit tests for graph value types and the label dictionary."""
+
+import pytest
+
+from repro.errors import PropertyTypeError
+from repro.graph.types import (
+    NO_LABEL,
+    Direction,
+    LabelDictionary,
+    PropertyType,
+)
+
+
+class TestDirection:
+    def test_reverse(self):
+        assert Direction.OUT.reverse() is Direction.IN
+        assert Direction.IN.reverse() is Direction.OUT
+
+
+class TestPropertyTypeInfer:
+    def test_bool_before_int(self):
+        # bool subclasses int; inference must not confuse them.
+        assert PropertyType.infer(True) is PropertyType.BOOLEAN
+        assert PropertyType.infer(0) is PropertyType.LONG
+
+    def test_infer_all(self):
+        assert PropertyType.infer(3) is PropertyType.LONG
+        assert PropertyType.infer(3.5) is PropertyType.DOUBLE
+        assert PropertyType.infer("x") is PropertyType.STRING
+
+    def test_infer_rejects_unknown(self):
+        with pytest.raises(PropertyTypeError):
+            PropertyType.infer([1, 2])
+
+
+class TestPropertyTypeCoerce:
+    def test_long_rejects_bool_and_float(self):
+        with pytest.raises(PropertyTypeError):
+            PropertyType.LONG.coerce(True)
+        with pytest.raises(PropertyTypeError):
+            PropertyType.LONG.coerce(1.5)
+
+    def test_double_widens_int(self):
+        assert PropertyType.DOUBLE.coerce(3) == 3.0
+        assert isinstance(PropertyType.DOUBLE.coerce(3), float)
+
+    def test_double_rejects_bool(self):
+        with pytest.raises(PropertyTypeError):
+            PropertyType.DOUBLE.coerce(True)
+
+    def test_string_rejects_int(self):
+        with pytest.raises(PropertyTypeError):
+            PropertyType.STRING.coerce(5)
+
+    def test_boolean_strict(self):
+        assert PropertyType.BOOLEAN.coerce(False) is False
+        with pytest.raises(PropertyTypeError):
+            PropertyType.BOOLEAN.coerce(1)
+
+    def test_defaults(self):
+        assert PropertyType.LONG.default() == 0
+        assert PropertyType.DOUBLE.default() == 0.0
+        assert PropertyType.STRING.default() == ""
+        assert PropertyType.BOOLEAN.default() is False
+
+
+class TestLabelDictionary:
+    def test_intern_is_idempotent(self):
+        labels = LabelDictionary()
+        first = labels.intern("friend")
+        second = labels.intern("friend")
+        assert first == second
+        assert len(labels) == 1
+
+    def test_lookup_unknown_returns_none(self):
+        labels = LabelDictionary()
+        labels.intern("a")
+        assert labels.lookup("a") == 0
+        assert labels.lookup("missing") is None
+
+    def test_lookup_never_collides_with_no_label(self):
+        labels = LabelDictionary()
+        assert labels.lookup("anything") is not NO_LABEL
+
+    def test_name_roundtrip(self):
+        labels = LabelDictionary()
+        ids = [labels.intern(name) for name in ("x", "y", "z")]
+        assert [labels.name(i) for i in ids] == ["x", "y", "z"]
+        assert labels.names() == ["x", "y", "z"]

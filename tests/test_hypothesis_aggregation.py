@@ -1,0 +1,120 @@
+"""Property-based tests of the partial-aggregation machinery.
+
+The engine merges per-machine :class:`GroupAccumulator` states; that is
+only correct if accumulation is partition-invariant: splitting the rows
+across any number of accumulators and merging must equal accumulating
+everything in one.  Hypothesis drives that invariant across aggregate
+functions, DISTINCT, and grouping.
+"""
+
+import operator
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pgql.ast import AggregateFunc
+from repro.runtime.aggregation import AggregateState
+
+
+def accumulate(func, distinct, values):
+    state = AggregateState(func, distinct)
+    for value in values:
+        state.update(value)
+    return state
+
+
+def merged(func, distinct, partitions):
+    total = AggregateState(func, distinct)
+    for partition in partitions:
+        total.merge(accumulate(func, distinct, partition))
+    return total
+
+
+values_strategy = st.lists(st.integers(min_value=-50, max_value=50),
+                           max_size=40)
+split_strategy = st.integers(min_value=1, max_value=5)
+
+
+def partitions_of(values, pieces):
+    chunks = [[] for _ in range(pieces)]
+    for index, value in enumerate(values):
+        chunks[index % pieces].append(value)
+    return chunks
+
+
+class TestMergeInvariance:
+    @given(values=values_strategy, pieces=split_strategy,
+           func=st.sampled_from(list(AggregateFunc)),
+           distinct=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_partitioned_equals_whole(self, values, pieces, func, distinct):
+        whole = accumulate(func, distinct, values)
+        parts = merged(func, distinct, partitions_of(values, pieces))
+        assert parts.result() == whole.result()
+
+    @given(values=values_strategy, func=st.sampled_from(list(AggregateFunc)))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_with_empty_is_identity(self, values, func):
+        state = accumulate(func, False, values)
+        before = state.result()
+        state.merge(AggregateState(func, False))
+        assert state.result() == before
+
+    @given(
+        left=values_strategy,
+        right=values_strategy,
+        func=st.sampled_from(
+            [AggregateFunc.COUNT, AggregateFunc.SUM, AggregateFunc.MIN,
+             AggregateFunc.MAX]
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_commutative(self, left, right, func):
+        ab = accumulate(func, False, left)
+        ab.merge(accumulate(func, False, right))
+        ba = accumulate(func, False, right)
+        ba.merge(accumulate(func, False, left))
+        assert ab.result() == ba.result()
+
+
+class TestAgainstPython:
+    @given(values=st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_results_match_builtins(self, values):
+        assert accumulate(AggregateFunc.COUNT, False, values).result() == \
+            len(values)
+        assert accumulate(AggregateFunc.SUM, False, values).result() == \
+            sum(values)
+        assert accumulate(AggregateFunc.MIN, False, values).result() == \
+            min(values)
+        assert accumulate(AggregateFunc.MAX, False, values).result() == \
+            max(values)
+        assert accumulate(AggregateFunc.AVG, False, values).result() == \
+            sum(values) / len(values)
+
+    @given(values=st.lists(st.integers(-20, 20), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_matches_set_semantics(self, values):
+        unique = set(values)
+        assert accumulate(AggregateFunc.COUNT, True, values).result() == \
+            len(unique)
+        assert accumulate(AggregateFunc.SUM, True, values).result() == \
+            sum(unique)
+
+
+class TestEndToEndPartitionInvariance:
+    @given(machines=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_cluster_size_never_changes_aggregates(self, machines):
+        from repro import ClusterConfig, run_query, uniform_random_graph
+
+        graph = uniform_random_graph(40, 160, seed=77)
+        query = (
+            "SELECT a.type, COUNT(*), SUM(b.value), AVG(b.value) "
+            "WHERE (a)-[]->(b) GROUP BY a.type ORDER BY a.type"
+        )
+        result = run_query(
+            graph, query, ClusterConfig(num_machines=machines)
+        )
+        reference = run_query(graph, query, ClusterConfig(num_machines=1))
+        assert result.rows == reference.rows

@@ -1,0 +1,146 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    DistributedGraph,
+    EdgeBalancedRandomPartitioner,
+    GraphBuilder,
+    graph_from_dict,
+    graph_to_dict,
+)
+
+
+@st.composite
+def edge_lists(draw, max_vertices=12, max_edges=40):
+    num_vertices = draw(st.integers(min_value=1, max_value=max_vertices))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_vertices - 1),
+                st.integers(min_value=0, max_value=num_vertices - 1),
+            ),
+            max_size=max_edges,
+        )
+    )
+    return num_vertices, edges
+
+
+def build(num_vertices, edges):
+    builder = GraphBuilder()
+    builder.add_vertices(num_vertices)
+    for src, dst in edges:
+        builder.add_edge(src, dst)
+    return builder.build()
+
+
+class TestCsrInvariants:
+    @given(edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_edge_multiset_preserved(self, data):
+        num_vertices, edges = data
+        graph = build(num_vertices, edges)
+        assert graph.num_edges == len(edges)
+        out_pairs = sorted(
+            (vertex, int(dst))
+            for vertex in graph.vertices()
+            for dst in graph.out_neighbors(vertex)
+        )
+        assert out_pairs == sorted(edges)
+
+    @given(edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_in_out_are_transposes(self, data):
+        num_vertices, edges = data
+        graph = build(num_vertices, edges)
+        in_pairs = sorted(
+            (int(src), vertex)
+            for vertex in graph.vertices()
+            for src in graph.in_neighbors(vertex)
+        )
+        assert in_pairs == sorted(edges)
+
+    @given(edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_degree_sums(self, data):
+        num_vertices, edges = data
+        graph = build(num_vertices, edges)
+        assert sum(graph.out_degree(v) for v in graph.vertices()) == \
+            len(edges)
+        assert sum(graph.in_degree(v) for v in graph.vertices()) == \
+            len(edges)
+
+    @given(edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_edge_ids_consistent_across_directions(self, data):
+        num_vertices, edges = data
+        graph = build(num_vertices, edges)
+        seen = {}
+        for vertex in graph.vertices():
+            dst, eids = graph.out_edges(vertex)
+            for d, eid in zip(dst, eids):
+                seen[int(eid)] = (vertex, int(d))
+        for vertex in graph.vertices():
+            src, eids = graph.in_edges(vertex)
+            for s, eid in zip(src, eids):
+                assert seen[int(eid)] == (int(s), vertex)
+        for eid, endpoints in seen.items():
+            assert graph.edge_endpoints(eid) == endpoints
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_between_matches_scan(self, data):
+        num_vertices, edges = data
+        graph = build(num_vertices, edges)
+        for src in graph.vertices():
+            for dst in graph.vertices():
+                expected = sum(
+                    1 for e_src, e_dst in edges
+                    if (e_src, e_dst) == (src, dst)
+                )
+                assert len(graph.edges_between(src, dst)) == expected
+                assert len(graph.in_edges_from(dst, src)) == expected
+
+
+class TestPartitionInvariants:
+    @given(edge_lists(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_covers_exactly_once(self, data, machines):
+        num_vertices, edges = data
+        graph = build(num_vertices, edges)
+        partition = EdgeBalancedRandomPartitioner(seed=0).partition(
+            graph, machines
+        )
+        owners = partition.owners_array()
+        assert len(owners) == num_vertices
+        collected = np.concatenate(
+            [partition.local_vertices(m) for m in range(machines)]
+        ) if machines else np.array([])
+        assert sorted(collected.tolist()) == list(range(num_vertices))
+
+    @given(edge_lists(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_distributed_local_access_total(self, data, machines):
+        num_vertices, edges = data
+        graph = build(num_vertices, edges)
+        dist = DistributedGraph.create(graph, machines)
+        total = sum(
+            dist.local(m).num_local_vertices for m in range(machines)
+        )
+        assert total == num_vertices
+
+
+class TestSerializationRoundtrip:
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_json_roundtrip(self, data):
+        num_vertices, edges = data
+        graph = build(num_vertices, edges)
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt.num_vertices == graph.num_vertices
+        assert rebuilt.num_edges == graph.num_edges
+        for vertex in graph.vertices():
+            assert list(rebuilt.out_neighbors(vertex)) == \
+                list(graph.out_neighbors(vertex))

@@ -1,0 +1,117 @@
+"""Property-based tests of planner invariants over random queries.
+
+Uses the random-pattern-query generator as the query source and checks
+structural invariants every compiled plan must satisfy, regardless of
+options: edges covered exactly once, layout consistency, monotone
+context widths, and well-formed stage/hop sequences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import uniform_random_graph
+from repro.pgql import parse_and_validate
+from repro.plan import (
+    HopKind,
+    MatchSemantics,
+    PlannerOptions,
+    SchedulingPolicy,
+    VisitKind,
+    plan_query,
+)
+from repro.workloads import random_pattern_query
+
+GRAPH = uniform_random_graph(40, 160, seed=1)
+
+options_strategy = st.builds(
+    PlannerOptions,
+    semantics=st.sampled_from(list(MatchSemantics)),
+    scheduling=st.sampled_from(list(SchedulingPolicy)),
+    use_common_neighbors=st.booleans(),
+)
+
+
+class TestPlanInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        num_edges=st.integers(min_value=1, max_value=5),
+        options=options_strategy,
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_compiled_plan_well_formed(self, seed, num_edges, options):
+        query = parse_and_validate(
+            random_pattern_query(seed, num_edges=num_edges)
+        )
+        plan = plan_query(query, GRAPH, options)
+
+        # Last hop is OUTPUT; no other stage outputs.
+        assert plan.stages[-1].hop.kind is HopKind.OUTPUT
+        assert all(
+            stage.hop.kind is not HopKind.OUTPUT
+            for stage in plan.stages[:-1]
+        )
+
+        # Every vertex variable is matched exactly once.
+        matched = [
+            stage.var for stage in plan.stages
+            if stage.kind is VisitKind.MATCH
+        ]
+        assert sorted(matched) == sorted(query.vertex_vars())
+
+        # Context widths are monotone and stages chain correctly.
+        for stage in plan.stages:
+            assert stage.in_width <= stage.out_width
+            assert 0 <= stage.vertex_slot < stage.in_width
+        for earlier, later in zip(plan.stages, plan.stages[1:]):
+            assert earlier.out_width <= later.in_width
+
+        # The layout has exactly one slot per symbol and covers all ids.
+        symbols = plan.layout.symbols()
+        assert len(set(symbols.values())) == len(symbols)
+        assert sorted(symbols.values()) == list(range(plan.layout.width))
+        for var in query.vertex_vars():
+            assert ("v", var) in symbols
+
+        # Hops that match edges point at the next stage's width.
+        for stage in plan.stages[:-1]:
+            hop = stage.hop
+            if hop.appends_target_id:
+                next_stage = plan.stages[stage.index + 1]
+                assert next_stage.kind is VisitKind.MATCH
+
+        # Isomorphism plans carry distinctness slots on later matches.
+        if options.semantics is not MatchSemantics.HOMOMORPHISM:
+            match_stages = [
+                stage for stage in plan.stages
+                if stage.kind is VisitKind.MATCH
+            ]
+            for position, stage in enumerate(match_stages):
+                assert len(stage.iso_vertex_slots) == position
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=60, deadline=None)
+    def test_all_pattern_edges_planned(self, seed):
+        query = parse_and_validate(random_pattern_query(seed, num_edges=4))
+        plan = plan_query(query, GRAPH)
+        # Each pattern edge is consumed by exactly one hop that performs
+        # edge matching (neighbor, edge-check vertex hop, or CN pair).
+        edge_hops = sum(
+            1
+            for stage in plan.stages
+            if stage.hop.kind in (HopKind.NEIGHBOR, HopKind.CN_PROBE,
+                                  HopKind.CN_COLLECT)
+            or (stage.hop.kind is HopKind.VERTEX
+                and stage.hop.edge_req_orientation is not None)
+        )
+        assert edge_hops == 4
+
+    @given(
+        seed=st.integers(min_value=0, max_value=120),
+        options=options_strategy,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_describe_never_crashes(self, seed, options):
+        query = parse_and_validate(random_pattern_query(seed, num_edges=3))
+        plan = plan_query(query, GRAPH, options)
+        text = plan.describe()
+        assert text.count("Stage") == plan.num_stages

@@ -1,0 +1,117 @@
+"""Unit tests for partitioners and the distributed graph view."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusterConfigError, RemoteAccessError
+from repro.graph import (
+    BlockPartitioner,
+    DistributedGraph,
+    EdgeBalancedRandomPartitioner,
+    HashPartitioner,
+    uniform_random_graph,
+)
+
+
+class TestPartitioners:
+    def test_every_vertex_assigned(self, random_graph):
+        for partitioner in (
+            EdgeBalancedRandomPartitioner(seed=1),
+            HashPartitioner(),
+            BlockPartitioner(),
+        ):
+            partition = partitioner.partition(random_graph, 4)
+            assert partition.num_vertices == random_graph.num_vertices
+            owners = partition.owners_array()
+            assert owners.min() >= 0
+            assert owners.max() < 4
+            counts = partition.vertex_counts()
+            assert counts.sum() == random_graph.num_vertices
+
+    def test_edge_balanced_is_balanced(self, random_graph):
+        partition = EdgeBalancedRandomPartitioner(seed=7).partition(
+            random_graph, 4
+        )
+        counts = partition.edge_counts(random_graph)
+        # Greedy balancing should stay well within 2x of ideal.
+        ideal = random_graph.num_edges / 4
+        assert counts.max() <= 2 * ideal
+
+    def test_edge_balanced_deterministic(self, random_graph):
+        first = EdgeBalancedRandomPartitioner(seed=3).partition(
+            random_graph, 4
+        )
+        second = EdgeBalancedRandomPartitioner(seed=3).partition(
+            random_graph, 4
+        )
+        assert np.array_equal(first.owners_array(), second.owners_array())
+
+    def test_hash_partitioner(self, random_graph):
+        partition = HashPartitioner().partition(random_graph, 3)
+        assert partition.owner(7) == 7 % 3
+
+    def test_block_partitioner_contiguous(self, random_graph):
+        partition = BlockPartitioner().partition(random_graph, 4)
+        owners = partition.owners_array()
+        assert all(owners[i] <= owners[i + 1] for i in range(len(owners) - 1))
+
+    def test_rejects_zero_machines(self, random_graph):
+        with pytest.raises(ClusterConfigError):
+            HashPartitioner().partition(random_graph, 0)
+
+    def test_local_vertices_partition_the_ids(self, random_graph):
+        partition = EdgeBalancedRandomPartitioner().partition(random_graph, 5)
+        seen = []
+        for machine in range(5):
+            seen.extend(int(v) for v in partition.local_vertices(machine))
+        assert sorted(seen) == list(range(random_graph.num_vertices))
+
+
+class TestDistributedGraph:
+    def test_create_default_partitioner(self, random_graph):
+        dist = DistributedGraph.create(random_graph, 4)
+        assert dist.num_machines == 4
+        assert dist.graph is random_graph
+
+    def test_machine_count_mismatch(self, random_graph):
+        partition = HashPartitioner().partition(random_graph, 2)
+        other = uniform_random_graph(10, 20, seed=0)
+        with pytest.raises(ValueError):
+            DistributedGraph(other, partition)
+
+    def test_local_access_allowed(self, random_graph):
+        dist = DistributedGraph.create(random_graph, 3)
+        local = dist.local(1)
+        vertex = int(local.local_vertices()[0])
+        assert local.is_local(vertex)
+        local.vertex_prop("type", vertex)
+        local.out_edges(vertex)
+        local.in_edges(vertex)
+        local.out_degree(vertex)
+        local.in_degree(vertex)
+        local.vertex_label(vertex)
+
+    def test_remote_access_rejected(self, random_graph):
+        dist = DistributedGraph.create(random_graph, 3)
+        local = dist.local(0)
+        remote_vertex = int(dist.local(1).local_vertices()[0])
+        with pytest.raises(RemoteAccessError):
+            local.vertex_prop("type", remote_vertex)
+        with pytest.raises(RemoteAccessError):
+            local.out_edges(remote_vertex)
+        with pytest.raises(RemoteAccessError):
+            local.edges_between(remote_vertex, 0)
+        with pytest.raises(RemoteAccessError):
+            local.in_edges_from(remote_vertex, 0)
+
+    def test_ownership_is_global_knowledge(self, random_graph):
+        dist = DistributedGraph.create(random_graph, 3)
+        local = dist.local(0)
+        for vertex in range(random_graph.num_vertices):
+            assert local.owner(vertex) == dist.owner(vertex)
+
+    def test_edge_data_is_shared(self, random_graph):
+        dist = DistributedGraph.create(random_graph, 2)
+        # Edge properties are replicated on both endpoints: no check.
+        dist.local(0).edge_prop("weight", 0)
+        dist.local(1).edge_prop("weight", 0)

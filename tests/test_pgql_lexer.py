@@ -1,0 +1,104 @@
+"""Unit tests for the PGQL tokenizer."""
+
+import pytest
+
+from repro.errors import PgqlSyntaxError
+from repro.pgql import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Where wiTH")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "WHERE", "WITH"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("abc _x a1_b2")
+        assert [t.value for t in tokens[:-1]] == ["abc", "_x", "a1_b2"]
+        assert all(t.type is TokenType.IDENT for t in tokens[:-1])
+
+    def test_eof_token(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_line_comments(self):
+        tokens = tokenize("a -- this is a comment\nb")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_position_tracking(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestNumbers:
+    def test_integers(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == 42 and isinstance(token.value, int)
+
+    def test_floats(self):
+        assert tokenize("3.25")[0].value == 3.25
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+
+    def test_trailing_dot_is_not_float(self):
+        # "1.x" must lex as NUMBER(1), ".", IDENT(x) — property access.
+        values = [t.value for t in tokenize("1 . x")[:-1]]
+        assert values == [1, ".", "x"]
+
+
+class TestStrings:
+    def test_double_and_single_quotes(self):
+        assert tokenize('"hello"')[0].value == "hello"
+        assert tokenize("'world'")[0].value == "world"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\"b"')[0].value == 'a"b'
+        assert tokenize(r'"a\nb"')[0].value == "a\nb"
+
+    def test_unterminated(self):
+        with pytest.raises(PgqlSyntaxError):
+            tokenize('"oops')
+
+
+class TestArrowsAndOperators:
+    def test_right_arrow(self):
+        values = [t.value for t in tokenize("-[]->")[:-1]]
+        assert values == ["-", "[", "]", "->"]
+
+    def test_left_arrow_before_bracket(self):
+        values = [t.value for t in tokenize("<-[]-")[:-1]]
+        assert values == ["<-", "[", "]", "-"]
+
+    def test_left_arrow_before_paren(self):
+        values = [t.value for t in tokenize("(a)<-(b)")[:-1]]
+        assert "<-" in values
+
+    def test_less_than_negative_number(self):
+        # "<-" followed by a digit is a comparison with a negation.
+        values = [t.value for t in tokenize("a < -3")[:-1]]
+        assert values == ["a", "<", "-", 3]
+
+    def test_comparison_operators(self):
+        values = [t.value for t in tokenize("<= >= != <> == =")[:-1]]
+        assert values == ["<=", ">=", "!=", "!=", "=", "="]
+
+    def test_unknown_character(self):
+        with pytest.raises(PgqlSyntaxError):
+            tokenize("a ? b")
+
+
+class TestTokenHelpers:
+    def test_is_symbol_keyword(self):
+        token = Token(TokenType.SYMBOL, "(", 0)
+        assert token.is_symbol("(")
+        assert not token.is_keyword("SELECT")
+        kw = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert kw.is_keyword("SELECT")
+        assert not kw.is_symbol("(")

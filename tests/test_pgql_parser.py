@@ -1,0 +1,212 @@
+"""Unit tests for the PGQL parser."""
+
+import pytest
+
+from repro.errors import PgqlSyntaxError
+from repro.graph.types import Direction
+from repro.pgql import (
+    Aggregate,
+    AggregateFunc,
+    Binary,
+    IdCall,
+    LabelCall,
+    Literal,
+    PropRef,
+    VarRef,
+    parse,
+)
+
+
+class TestPatterns:
+    def test_simple_edge(self):
+        query = parse("SELECT a, b WHERE (a)-[:friend]->(b)")
+        path = query.paths[0]
+        assert [v.var for v in path.vertices] == ["a", "b"]
+        edge = path.edges[0]
+        assert edge.label == "friend"
+        assert edge.direction is Direction.OUT
+        assert edge.anonymous
+
+    def test_reverse_edge(self):
+        query = parse("SELECT a WHERE (a)<-[e:follows]-(b)")
+        edge = query.paths[0].edges[0]
+        assert edge.direction is Direction.IN
+        assert edge.var == "e"
+        assert not edge.anonymous
+
+    def test_arrow_shorthands(self):
+        query = parse("SELECT a WHERE (a) -> (b) <- (c)")
+        directions = [e.direction for e in query.paths[0].edges]
+        assert directions == [Direction.OUT, Direction.IN]
+
+    def test_anonymous_vertices_get_fresh_names(self):
+        query = parse("SELECT v WHERE (v)-[]->()-[]->()")
+        names = [v.var for v in query.paths[0].vertices]
+        assert names[0] == "v"
+        assert len(set(names)) == 3
+        assert all(name.startswith("$") for name in names[1:])
+
+    def test_vertex_label(self):
+        query = parse("SELECT a WHERE (a:person)-[]->(b)")
+        assert query.paths[0].vertices[0].label == "person"
+
+    def test_long_path(self):
+        query = parse("SELECT a WHERE (a)-[]->(b)-[]->(c)-[]->(d)")
+        assert len(query.paths[0].vertices) == 4
+        assert len(query.paths[0].edges) == 3
+
+    def test_multiple_paths_and_constraints(self):
+        query = parse(
+            "SELECT a WHERE (a)-[]->(b), (a)-[]->(c), a.type = b.type"
+        )
+        assert len(query.paths) == 2
+        assert len(query.constraints) == 1
+
+    def test_parenthesized_constraint_backtracks(self):
+        query = parse("SELECT a WHERE (a), (a.x = 1 OR a.y = 2)")
+        assert len(query.paths) == 1
+        assert len(query.constraints) == 1
+        assert isinstance(query.constraints[0], Binary)
+
+
+class TestWithFilters:
+    def test_bare_prop_binds_to_vertex(self):
+        query = parse("SELECT a WHERE (a WITH age > 18)")
+        filter_expr = query.paths[0].vertices[0].filter
+        assert isinstance(filter_expr, Binary)
+        assert isinstance(filter_expr.lhs, PropRef)
+        assert filter_expr.lhs.var == "a"
+        assert filter_expr.lhs.prop == "age"
+
+    def test_bare_id_call(self):
+        query = parse("SELECT v WHERE (v WITH id() = 17)-[]->()")
+        filter_expr = query.paths[0].vertices[0].filter
+        assert isinstance(filter_expr.lhs, IdCall)
+        assert filter_expr.lhs.var == "v"
+
+    def test_qualified_ref_in_with(self):
+        query = parse("SELECT a WHERE (a WITH a.age > 18)")
+        filter_expr = query.paths[0].vertices[0].filter
+        assert filter_expr.lhs.var == "a"
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse("SELECT a WHERE (a), %s" % text).constraints[0]
+
+    def test_precedence_and_or(self):
+        expr = self.expr("a.x = 1 OR a.y = 2 AND a.z = 3")
+        assert expr.op == "OR"
+        assert expr.rhs.op == "AND"
+
+    def test_precedence_arith(self):
+        expr = self.expr("a.x + 2 * 3 = 7")
+        assert expr.op == "="
+        assert expr.lhs.op == "+"
+        assert expr.lhs.rhs.op == "*"
+
+    def test_not(self):
+        expr = self.expr("NOT a.flag")
+        assert expr.op == "NOT"
+
+    def test_unary_minus(self):
+        expr = self.expr("a.x > -5")
+        assert expr.rhs.op == "-"
+        assert isinstance(expr.rhs.operand, Literal)
+
+    def test_method_calls(self):
+        assert isinstance(self.expr("a.id() = 3").lhs, IdCall)
+        assert isinstance(self.expr('a.label() = "x"').lhs, LabelCall)
+
+    def test_unknown_method(self):
+        with pytest.raises(PgqlSyntaxError):
+            parse("SELECT a WHERE (a), a.frobnicate() = 1")
+
+    def test_string_literals(self):
+        expr = self.expr('a.name = "alice"')
+        assert expr.rhs.value == "alice"
+
+    def test_booleans(self):
+        expr = self.expr("a.flag = TRUE")
+        assert expr.rhs.value is True
+
+    def test_var_comparison(self):
+        expr = self.expr("a != a")
+        assert isinstance(expr.lhs, VarRef)
+
+
+class TestClauses:
+    def test_select_aliases(self):
+        query = parse("SELECT a.age AS years, b WHERE (a)-[]->(b)")
+        assert query.select_items[0].alias == "years"
+        assert query.select_items[1].alias is None
+
+    def test_group_by_having(self):
+        query = parse(
+            "SELECT COUNT(*), a.type WHERE (a)-[]->(b) "
+            "GROUP BY a.type HAVING COUNT(*) > 2"
+        )
+        assert len(query.group_by) == 1
+        assert query.having is not None
+
+    def test_order_by_limit(self):
+        query = parse(
+            "SELECT a WHERE (a) ORDER BY a.age DESC, a.name LIMIT 10"
+        )
+        assert len(query.order_by) == 2
+        assert query.order_by[0].ascending is False
+        assert query.order_by[1].ascending is True
+        assert query.limit == 10
+
+    def test_aggregates(self):
+        query = parse(
+            "SELECT COUNT(*), SUM(a.x), AVG(a.x), MIN(a.x), MAX(a.x), "
+            "COUNT(DISTINCT a.x) WHERE (a) GROUP BY a.y"
+        )
+        funcs = [item.expr.func for item in query.select_items]
+        assert funcs == [
+            AggregateFunc.COUNT,
+            AggregateFunc.SUM,
+            AggregateFunc.AVG,
+            AggregateFunc.MIN,
+            AggregateFunc.MAX,
+            AggregateFunc.COUNT,
+        ]
+        assert query.select_items[0].expr.arg is None
+        assert query.select_items[5].expr.distinct
+
+    def test_limit_must_be_integer(self):
+        with pytest.raises(PgqlSyntaxError):
+            parse("SELECT a WHERE (a) LIMIT 2.5")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PgqlSyntaxError):
+            parse("SELECT a WHERE (a) bogus")
+
+    def test_missing_where(self):
+        with pytest.raises(PgqlSyntaxError):
+            parse("SELECT a FROM x")
+
+
+class TestPaperQueries:
+    """Every query that appears verbatim in the paper must parse."""
+
+    PAPER_QUERIES = [
+        "SELECT a, b WHERE (a WITH age > 18)-[:friend]->(b)",
+        "SELECT p, b.when, i.id WHERE "
+        "(p WITH age < 18) -[b:bought]-> (i WITH price > 1000)",
+        "SELECT a, b.name WHERE (a)-[]->(b), (a)-[]->(c), "
+        "a.id() < 17, a.type = b.type, b.type != c.type",
+        "SELECT v WHERE (v WITH id() = 17)-[]->()",
+        "SELECT v WHERE (v)-[]->()",
+        'SELECT person, band WHERE '
+        '(person)-[:likes]->(song)-[:from]->(band), '
+        'person.gender = "female", song.style = "rock", '
+        'band.name = "Uknown1"',
+        "SELECT a WHERE (a) -[]-> (c) <-[]- (b)",
+    ]
+
+    @pytest.mark.parametrize("text", PAPER_QUERIES)
+    def test_parses(self, text):
+        query = parse(text)
+        assert query.paths

@@ -1,0 +1,106 @@
+"""Tests for the PGQL printer (AST -> text) and parse/print round trips."""
+
+import pytest
+
+from repro.pgql import parse, parse_and_validate
+from repro.pgql.printer import expr_to_pgql, to_pgql
+
+ROUND_TRIP_QUERIES = [
+    "SELECT a, b WHERE (a WITH age > 18)-[:friend]->(b)",
+    "SELECT p, b.when, i.id WHERE "
+    "(p WITH age < 18) -[b:bought]-> (i WITH price > 1000)",
+    "SELECT a, b.name WHERE (a)-[]->(b), (a)-[]->(c), "
+    "a.id() < 17, a.type = b.type, b.type != c.type",
+    "SELECT v WHERE (v WITH id() = 17)-[]->()",
+    'SELECT person, band WHERE '
+    '(person)-[:likes]->(song)-[:from]->(band), '
+    'person.gender = "female", song.style = "rock"',
+    "SELECT DISTINCT a, b WHERE (a)-/{1,3}/->(b) ORDER BY a, b DESC "
+    "LIMIT 5",
+    "SELECT COUNT(*), a.type WHERE (a:person)-[]->(b) GROUP BY a.type "
+    "HAVING COUNT(*) > 2 ORDER BY COUNT(*) DESC",
+    "SELECT a.age + 2 * 3 AS x WHERE (a), NOT (a.age = 4 OR a.age > 10)",
+    "SELECT SUM(DISTINCT a.value) WHERE (a)<-[e:linked]-(b), "
+    "e.weight > 0.5",
+    "SELECT a WHERE (a)<-/:next{2,4}/-(b), a != b",
+    'SELECT a WHERE (a WITH name = "it\'s \\"quoted\\"")',
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", ROUND_TRIP_QUERIES)
+    def test_print_parse_fixed_point(self, text):
+        """print(parse(x)) reparses to the identical printed form."""
+        once = to_pgql(parse(text))
+        twice = to_pgql(parse(once))
+        assert once == twice
+
+    @pytest.mark.parametrize("text", ROUND_TRIP_QUERIES)
+    def test_structure_preserved(self, text):
+        original = parse(text)
+        reparsed = parse(to_pgql(original))
+        assert len(original.paths) == len(reparsed.paths)
+        assert len(original.constraints) == len(reparsed.constraints)
+        assert original.distinct == reparsed.distinct
+        assert original.limit == reparsed.limit
+        assert len(original.select_items) == len(reparsed.select_items)
+        for a, b in zip(original.paths, reparsed.paths):
+            assert len(a.edges) == len(b.edges)
+            for ea, eb in zip(a.edges, b.edges):
+                assert ea.label == eb.label
+                assert ea.direction == eb.direction
+                assert (ea.min_hops, ea.max_hops) == \
+                    (eb.min_hops, eb.max_hops)
+
+    def test_round_trip_equivalent_results(self, random_graph):
+        """Printed queries return the same rows as the originals."""
+        from repro import ClusterConfig, run_query
+
+        queries = [
+            "SELECT a, b WHERE (a WITH type = 1)-[]->(b), a.value > b.value",
+            "SELECT DISTINCT a.type WHERE (a)-[]->(b)-[]->(c) ORDER BY a.type",
+        ]
+        for text in queries:
+            printed = to_pgql(parse_and_validate(text))
+            first = run_query(random_graph, text,
+                              ClusterConfig(num_machines=2))
+            second = run_query(random_graph, printed,
+                               ClusterConfig(num_machines=2))
+            assert first.rows == second.rows
+
+
+class TestExpressionPrinting:
+    def expr(self, text):
+        return parse("SELECT a WHERE (a), %s" % text).constraints[0]
+
+    def test_precedence_parentheses(self):
+        expr = self.expr("(a.x + 1) * 2 = 4")
+        assert expr_to_pgql(expr) == "(a.x + 1) * 2 = 4"
+
+    def test_no_redundant_parentheses(self):
+        expr = self.expr("a.x + 1 + 2 = 4")
+        assert expr_to_pgql(expr) == "a.x + 1 + 2 = 4"
+
+    def test_not_of_disjunction(self):
+        expr = self.expr("NOT (a.x = 1 OR a.y = 2)")
+        printed = expr_to_pgql(expr)
+        assert printed == "NOT (a.x = 1 OR a.y = 2)"
+
+    def test_unary_minus(self):
+        expr = self.expr("a.x > -3")
+        assert expr_to_pgql(expr) == "a.x > -3"
+
+    def test_boolean_literals(self):
+        assert expr_to_pgql(self.expr("a.flag = TRUE")) == "a.flag = TRUE"
+
+    def test_string_escaping(self):
+        expr = self.expr('a.name = "say \\"hi\\""')
+        printed = expr_to_pgql(expr)
+        reparsed = parse("SELECT a WHERE (a), %s" % printed).constraints[0]
+        assert reparsed.rhs.value == 'say "hi"'
+
+    def test_right_associativity_parenthesized(self):
+        # a - (b - c) must keep its parentheses.
+        expr = self.expr("a.x - (a.y - a.z) = 0")
+        printed = expr_to_pgql(expr)
+        assert "(a.y - a.z)" in printed

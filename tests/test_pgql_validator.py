@@ -1,0 +1,99 @@
+"""Unit tests for PGQL semantic validation."""
+
+import pytest
+
+from repro.errors import PgqlValidationError
+from repro.pgql import parse, parse_and_validate, validate
+from repro.pgql.ast import Binary, PropRef
+
+
+def ok(text):
+    return parse_and_validate(text)
+
+
+def bad(text):
+    with pytest.raises(PgqlValidationError):
+        parse_and_validate(text)
+
+
+class TestVariableBinding:
+    def test_select_unbound(self):
+        bad("SELECT x WHERE (a)-[]->(b)")
+
+    def test_constraint_unbound(self):
+        bad("SELECT a WHERE (a), z.age > 1")
+
+    def test_order_by_unbound(self):
+        bad("SELECT a WHERE (a) ORDER BY q.age")
+
+    def test_edge_var_is_bound(self):
+        ok("SELECT e.since WHERE (a)-[e]->(b)")
+
+    def test_duplicate_edge_var(self):
+        bad("SELECT a WHERE (a)-[e]->(b)-[e]->(c)")
+
+    def test_vertex_reuse_joins_paths(self):
+        query = ok("SELECT a WHERE (a)-[]->(b), (b)-[]->(c)")
+        assert query.vertex_vars() == ["a", "b", "c"]
+
+    def test_name_shared_between_vertex_and_edge(self):
+        bad("SELECT a WHERE (a)-[x]->(x)")
+
+
+class TestAggregates:
+    def test_no_aggregate_in_with(self):
+        bad("SELECT a WHERE (a WITH COUNT(*) > 1)")
+
+    def test_no_aggregate_in_constraint(self):
+        bad("SELECT a WHERE (a), SUM(a.x) > 3")
+
+    def test_group_by_coverage(self):
+        bad("SELECT COUNT(*), a WHERE (a)-[]->(b)")
+        ok("SELECT COUNT(*), a.type WHERE (a)-[]->(b) GROUP BY a.type")
+
+    def test_implicit_global_group(self):
+        ok("SELECT COUNT(*) WHERE (a)-[]->(b)")
+
+    def test_nested_aggregates(self):
+        bad("SELECT SUM(COUNT(*) + 1) WHERE (a) GROUP BY a.x")
+
+    def test_having_requires_aggregation(self):
+        bad("SELECT a WHERE (a) HAVING a.x > 1")
+        ok("SELECT COUNT(*) WHERE (a) HAVING COUNT(*) > 1")
+
+
+class TestClauses:
+    def test_negative_limit(self):
+        query = parse("SELECT a WHERE (a) LIMIT 3")
+        query.limit = -1
+        with pytest.raises(PgqlValidationError):
+            validate(query)
+
+    def test_empty_pattern(self):
+        query = parse("SELECT a WHERE (a)")
+        query.paths = []
+        with pytest.raises(PgqlValidationError):
+            validate(query)
+
+
+class TestAliasResolution:
+    def test_order_by_alias(self):
+        query = ok(
+            "SELECT a.age + 1 AS next_age WHERE (a) ORDER BY next_age"
+        )
+        expr = query.order_by[0].expr
+        assert isinstance(expr, Binary)
+        assert isinstance(expr.lhs, PropRef)
+
+    def test_group_by_alias(self):
+        query = ok(
+            "SELECT a.type AS t, COUNT(*) WHERE (a)-[]->(b) GROUP BY t"
+        )
+        assert isinstance(query.group_by[0], PropRef)
+
+    def test_alias_does_not_shadow_pattern_var(self):
+        # "b" is a pattern variable: ORDER BY b keeps the VarRef meaning.
+        query = ok("SELECT a.age AS b, b AS bb WHERE (a)-[]->(b) ORDER BY b")
+        from repro.pgql.ast import VarRef
+
+        assert isinstance(query.order_by[0].expr, VarRef)

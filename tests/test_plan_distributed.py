@@ -1,0 +1,133 @@
+"""Unit tests for step ii: the distributed plan with inspection steps."""
+
+from repro.pgql import parse_and_validate
+from repro.plan import (
+    HopKind,
+    VisitKind,
+    build_distributed_plan,
+    build_logical_plan,
+)
+
+
+def distributed(text, **kwargs):
+    return build_distributed_plan(
+        build_logical_plan(parse_and_validate(text), **kwargs)
+    )
+
+
+def shape(plan):
+    return [
+        (visit.kind.value, visit.var, visit.hop.kind.value)
+        for visit in plan.visits
+    ]
+
+
+class TestPaperFigure2:
+    def test_exact_stage_structure(self):
+        """The paper's Figure 2 query must produce its exact stage list."""
+        plan = distributed(
+            "SELECT a, b.name WHERE (a)-[]->(b), (a)-[]->(c), "
+            "a.id() < 17, a.type = b.type, b.type != c.type"
+        )
+        assert shape(plan) == [
+            ("match", "a", "neighbor"),    # stage 0: match a, hop out nghbr
+            ("match", "b", "vertex"),      # stage 1: match b, inspection: a
+            ("inspect", "a", "neighbor"),  # stage 2: back at a, out nghbr
+            ("match", "c", "output"),      # stage 3: match c, output
+        ]
+
+
+class TestInspectionInsertion:
+    def test_no_inspection_when_chained(self):
+        plan = distributed("SELECT a WHERE (a)-[]->(b)-[]->(c)")
+        kinds = [visit.kind for visit in plan.visits]
+        assert VisitKind.INSPECT not in kinds
+
+    def test_inspection_for_branching(self):
+        plan = distributed("SELECT a WHERE (a)-[]->(b), (a)-[]->(c)")
+        kinds = [visit.kind for visit in plan.visits]
+        assert VisitKind.INSPECT in kinds
+
+    def test_last_hop_is_output(self):
+        plan = distributed("SELECT a WHERE (a)-[]->(b)")
+        assert plan.visits[-1].hop.kind is HopKind.OUTPUT
+
+
+class TestEdgeChecks:
+    def test_check_from_current_when_at_src(self):
+        plan = distributed("SELECT a WHERE (a)-[]->(b), (b)-[]->(a)")
+        # After matching b (current), the b->a check runs at b.
+        check_hops = [
+            visit.hop for visit in plan.visits
+            if visit.hop.kind is HopKind.VERTEX and visit.hop.edge_req
+        ]
+        assert len(check_hops) == 1
+        assert check_hops[0].edge_req.orientation == "current_to_target"
+
+    def test_check_from_dst_via_in_adjacency(self):
+        plan = distributed("SELECT a WHERE (a)-[]->(b), (a)-[]->(b)")
+        # Current is b; second a->b edge checks via b's in-adjacency.
+        check_hops = [
+            visit.hop for visit in plan.visits
+            if visit.hop.kind is HopKind.VERTEX and visit.hop.edge_req
+        ]
+        assert len(check_hops) == 1
+        assert check_hops[0].edge_req.orientation == "target_to_current"
+
+
+class TestFilterSplit:
+    def test_edge_only_conjunct_is_hop_filter(self):
+        plan = distributed("SELECT a WHERE (a)-[e]->(b), e.w > 2")
+        hop = plan.visits[0].hop
+        assert len(hop.edge_filters) == 1
+        assert not plan.visits[1].filters
+
+    def test_target_conjunct_is_visit_filter(self):
+        plan = distributed("SELECT a WHERE (a)-[e]->(b), e.w > b.x")
+        hop = plan.visits[0].hop
+        assert not hop.edge_filters
+        assert len(plan.visits[1].filters) == 1
+
+    def test_source_and_edge_conjunct_is_hop_filter(self):
+        plan = distributed("SELECT a WHERE (a)-[e]->(b), e.w > a.x")
+        assert len(plan.visits[0].hop.edge_filters) == 1
+
+
+class TestCartesian:
+    def test_all_vertices_hop(self):
+        plan = distributed("SELECT a, b WHERE (a), (b)")
+        assert plan.visits[0].hop.kind is HopKind.ALL_VERTICES
+        assert plan.visits[1].kind is VisitKind.MATCH
+
+
+class TestCommonNeighborVisits:
+    def test_collect_probe_match_sequence(self):
+        plan = distributed(
+            "SELECT a WHERE (a)-[]->(c)<-[]-(b)", use_common_neighbors=True
+        )
+        hops = [visit.hop.kind for visit in plan.visits]
+        assert HopKind.CN_COLLECT in hops
+        assert HopKind.CN_PROBE in hops
+        collect_index = hops.index(HopKind.CN_COLLECT)
+        assert plan.visits[collect_index + 1].kind is VisitKind.CN_PROBE
+        assert plan.visits[collect_index + 2].kind is VisitKind.MATCH
+        assert plan.visits[collect_index + 2].var == "c"
+
+    def test_single_edge_filters_attach_to_hops(self):
+        plan = distributed(
+            "SELECT a WHERE (a)-[e1]->(c)<-[e2]-(b), e1.w > 1, e2.w > 2, "
+            "e1.w != e2.w",
+            use_common_neighbors=True,
+        )
+        collect = next(
+            visit.hop for visit in plan.visits
+            if visit.hop.kind is HopKind.CN_COLLECT
+        )
+        probe = next(
+            visit.hop for visit in plan.visits
+            if visit.hop.kind is HopKind.CN_PROBE
+        )
+        match = plan.visits[-1]
+        assert len(collect.edge_filters) == 1
+        assert len(probe.edge_filters) == 1
+        assert len(match.filters) == 1  # the two-edge conjunct

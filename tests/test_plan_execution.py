@@ -1,0 +1,155 @@
+"""Unit tests for step iii: context layout, captures, compiled filters."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.plan import (
+    IMPOSSIBLE_LABEL,
+    HopKind,
+    MatchSemantics,
+    PlannerOptions,
+    plan_query,
+)
+
+
+class TestContextLayout:
+    def test_vertex_ids_always_captured(self, social_graph):
+        plan = plan_query("SELECT a WHERE (a)-[]->(b)", social_graph)
+        layout = plan.layout
+        assert layout.has(("v", "a"))
+        assert layout.has(("v", "b"))
+
+    def test_paper_figure2_captures(self, random_graph):
+        """Stage 0 captures a.type; stage 1 captures b.name/b.type."""
+        plan = plan_query(
+            "SELECT a, b.value WHERE (a)-[]->(b), (a)-[]->(c), "
+            "a.id() < 17, a.type = b.type, b.type != c.type",
+            random_graph,
+        )
+        layout = plan.layout
+        # a.type captured at stage 0 for stage 1's filter.
+        assert layout.has(("vp", "a", "type"))
+        # b.value captured at stage 1 for output; b.type for stage 3.
+        assert layout.has(("vp", "b", "value"))
+        assert layout.has(("vp", "b", "type"))
+        # c needs no captures beyond its id.
+        assert not layout.has(("vp", "c", "type"))
+        stage_a, stage_b = plan.stages[0], plan.stages[1]
+        assert len(stage_a.captures) == 1
+        assert len(stage_b.captures) == 2
+
+    def test_no_capture_when_direct(self, random_graph):
+        plan = plan_query(
+            "SELECT a WHERE (a WITH type = 1)-[]->(b WITH type = 2)",
+            random_graph,
+        )
+        # Each filter reads its own stage's vertex directly.
+        assert not plan.layout.has(("vp", "a", "type"))
+        assert not plan.layout.has(("vp", "b", "type"))
+
+    def test_edge_prop_capture(self, social_graph):
+        plan = plan_query(
+            "SELECT e.since WHERE (a)-[e:friend]->(b)", social_graph
+        )
+        assert plan.layout.has(("ep", "e", "since"))
+        assert plan.stages[0].hop.edge_captures
+
+    def test_edge_id_capture_only_when_needed(self, social_graph):
+        plan = plan_query("SELECT a WHERE (a)-[e]->(b)", social_graph)
+        assert not plan.layout.has(("e", "e"))
+        plan = plan_query("SELECT e WHERE (a)-[e]->(b)", social_graph)
+        assert plan.layout.has(("e", "e"))
+
+    def test_label_capture(self, social_graph):
+        plan = plan_query(
+            "SELECT a.label() WHERE (a)-[]->(b)", social_graph
+        )
+        assert plan.layout.has(("vl", "a"))
+
+    def test_widths_are_monotone(self, random_graph):
+        plan = plan_query(
+            "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c), a.type = c.type",
+            random_graph,
+        )
+        widths = [(s.in_width, s.out_width) for s in plan.stages]
+        for in_width, out_width in widths:
+            assert in_width <= out_width
+        for earlier, later in zip(widths, widths[1:]):
+            assert earlier[1] <= later[0]
+
+
+class TestLabelCompilation:
+    def test_known_label(self, social_graph):
+        plan = plan_query("SELECT a WHERE (a:person)-[]->(b)", social_graph)
+        assert plan.stages[0].label_id == social_graph.labels.lookup("person")
+
+    def test_unknown_label_is_impossible(self, social_graph):
+        plan = plan_query("SELECT a WHERE (a:ghost)-[]->(b)", social_graph)
+        assert plan.stages[0].label_id == IMPOSSIBLE_LABEL
+
+    def test_unknown_edge_label_is_impossible(self, social_graph):
+        plan = plan_query("SELECT a WHERE (a)-[:ghost]->(b)", social_graph)
+        assert plan.stages[0].hop.edge_label_id == IMPOSSIBLE_LABEL
+
+
+class TestCompiledFilters:
+    def test_missing_property_rejected_at_plan_time(self, social_graph):
+        with pytest.raises(PlanError):
+            plan_query("SELECT a WHERE (a WITH nonexistent > 3)",
+                       social_graph)
+
+    def test_missing_edge_property_rejected(self, social_graph):
+        with pytest.raises(PlanError):
+            plan_query("SELECT a WHERE (a)-[e]->(b), e.ghost = 1",
+                       social_graph)
+
+    def test_filter_closure_runs(self, social_graph):
+        plan = plan_query("SELECT a WHERE (a WITH age > 18)", social_graph)
+        stage = plan.stages[0]
+        assert stage.filter((0,), 0, -1) is True    # age 31
+        assert stage.filter((1,), 1, -1) is False   # age 17
+
+
+class TestSemantics:
+    def test_homomorphism_has_no_distinctness(self, random_graph):
+        plan = plan_query("SELECT a WHERE (a)-[]->(b)", random_graph)
+        assert not plan.stages[1].iso_vertex_slots
+
+    def test_isomorphism_vertex_slots(self, random_graph):
+        plan = plan_query(
+            "SELECT a WHERE (a)-[]->(b)-[]->(c)", random_graph,
+            PlannerOptions(semantics=MatchSemantics.ISOMORPHISM),
+        )
+        assert plan.stages[1].iso_vertex_slots == [0]
+        assert len(plan.stages[2].iso_vertex_slots) == 2
+
+    def test_isomorphism_captures_all_edge_ids(self, random_graph):
+        plan = plan_query(
+            "SELECT a WHERE (a)-[]->(b)-[]->(c)", random_graph,
+            PlannerOptions(semantics=MatchSemantics.ISOMORPHISM),
+        )
+        # Two anonymous edges, both captured for distinctness checks.
+        edge_vars = plan.query.edge_vars()
+        for edge_var in edge_vars:
+            assert plan.layout.has(("e", edge_var))
+        assert plan.stages[1].hop.iso_edge_slots
+
+    def test_induced_appends_verification_stages(self, random_graph):
+        plain = plan_query("SELECT a WHERE (a)-[]->(b)", random_graph)
+        induced = plan_query(
+            "SELECT a WHERE (a)-[]->(b)", random_graph,
+            PlannerOptions(semantics=MatchSemantics.INDUCED),
+        )
+        assert induced.num_stages > plain.num_stages
+        checker = induced.stages[-1]
+        assert checker.forbidden_slots
+
+
+class TestDescribe:
+    def test_describe_lists_all_stages(self, random_graph):
+        plan = plan_query(
+            "SELECT a WHERE (a)-[]->(b)-[]->(c)", random_graph
+        )
+        text = plan.describe()
+        assert text.count("Stage") == plan.num_stages
+        assert "output" in text

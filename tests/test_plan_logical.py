@@ -1,0 +1,135 @@
+"""Unit tests for step i: the logical plan."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.graph.types import Direction
+from repro.pgql import parse_and_validate
+from repro.plan import (
+    CartesianRootMatch,
+    CommonNeighborMatch,
+    EdgeCheck,
+    NeighborMatch,
+    RootVertexMatch,
+    build_logical_plan,
+)
+
+
+def logical(text, **kwargs):
+    return build_logical_plan(parse_and_validate(text), **kwargs)
+
+
+class TestOperatorSequence:
+    def test_single_edge(self):
+        plan = logical("SELECT a WHERE (a)-[:f]->(b)")
+        assert isinstance(plan.ops[0], RootVertexMatch)
+        assert isinstance(plan.ops[1], NeighborMatch)
+        assert plan.ops[1].direction is Direction.OUT
+        assert plan.ops[1].edge_label == "f"
+
+    def test_reverse_edge_normalized(self):
+        plan = logical("SELECT a WHERE (a)<-[]-(b)")
+        match = plan.ops[1]
+        # Pattern edge is b -> a; traversal from a uses in-neighbors.
+        assert match.src_var == "a"
+        assert match.dst_var == "b"
+        assert match.direction is Direction.IN
+
+    def test_triangle_edge_check(self):
+        plan = logical("SELECT a WHERE (a)-[]->(b)-[]->(c), (a)-[]->(c)")
+        kinds = [type(op).__name__ for op in plan.ops]
+        assert kinds == [
+            "RootVertexMatch", "NeighborMatch", "NeighborMatch", "EdgeCheck",
+        ]
+        check = plan.ops[3]
+        assert (check.src_var, check.dst_var) == ("a", "c")
+
+    def test_disconnected_becomes_cartesian(self):
+        plan = logical("SELECT a, b WHERE (a), (b)")
+        assert isinstance(plan.ops[0], RootVertexMatch)
+        assert isinstance(plan.ops[1], CartesianRootMatch)
+
+    def test_vertex_order_override(self):
+        plan = logical(
+            "SELECT a WHERE (a)-[]->(b)", vertex_order=["b", "a"]
+        )
+        assert plan.ops[0].var == "b"
+        match = plan.ops[1]
+        assert match.src_var == "b"
+        assert match.dst_var == "a"
+        assert match.direction is Direction.IN
+
+    def test_bad_vertex_order(self):
+        with pytest.raises(PlanError):
+            logical("SELECT a WHERE (a)-[]->(b)", vertex_order=["a", "z"])
+
+
+class TestFilters:
+    def test_filters_at_earliest_binding(self):
+        plan = logical(
+            "SELECT a WHERE (a WITH age > 1)-[]->(b), a.x = b.x"
+        )
+        assert len(plan.ops[0].filters) == 1  # age > 1 at root
+        assert len(plan.ops[1].filters) == 1  # a.x = b.x once b bound
+
+    def test_edge_filter_binds_with_edge(self):
+        plan = logical("SELECT a WHERE (a)-[e]->(b), e.w > 2")
+        assert len(plan.ops[1].filters) == 1
+
+    def test_single_vertex_root_detection(self):
+        plan = logical("SELECT v WHERE (v WITH id() = 17)-[]->(b)")
+        assert plan.ops[0].single_vertex_id == 17
+
+    def test_single_vertex_reversed_equality(self):
+        plan = logical("SELECT v WHERE (v), 17 = v.id()")
+        assert plan.ops[0].single_vertex_id == 17
+
+    def test_no_single_vertex_for_inequality(self):
+        plan = logical("SELECT v WHERE (v WITH id() < 17)-[]->(b)")
+        assert plan.ops[0].single_vertex_id is None
+
+
+class TestCommonNeighbors:
+    def test_enabled(self):
+        plan = logical(
+            "SELECT a WHERE (a)-[]->(c)<-[]-(b)", use_common_neighbors=True
+        )
+        kinds = [type(op).__name__ for op in plan.ops]
+        assert "CommonNeighborMatch" in kinds
+        cn = next(
+            op for op in plan.ops if isinstance(op, CommonNeighborMatch)
+        )
+        assert cn.dst_var == "c"
+        assert {cn.left_var, cn.right_var} == {"a", "b"}
+
+    def test_disabled_by_default(self):
+        plan = logical("SELECT a WHERE (a)-[]->(c)<-[]-(b)")
+        kinds = [type(op).__name__ for op in plan.ops]
+        assert "CommonNeighborMatch" not in kinds
+        # In appearance order (a, c, b), b joins as an in-neighbor of c.
+        assert kinds == ["RootVertexMatch", "NeighborMatch", "NeighborMatch"]
+
+    def test_not_applied_without_two_sources(self):
+        plan = logical(
+            "SELECT a WHERE (a)-[]->(b)", use_common_neighbors=True
+        )
+        assert isinstance(plan.ops[1], NeighborMatch)
+
+
+class TestEdgeVarBinding:
+    def test_edge_check_binds_edge_var(self):
+        plan = logical("SELECT e.w WHERE (a)-[]->(b), (a)-[e]->(b)")
+        checks = [op for op in plan.ops if isinstance(op, EdgeCheck)]
+        assert len(checks) == 1
+        assert checks[0].edge_var == "e"
+
+    def test_all_pattern_edges_covered(self):
+        plan = logical(
+            "SELECT a WHERE (a)-[]->(b)-[]->(c), (c)-[]->(a), (b)-[]->(a)"
+        )
+        total_edges = 4
+        bound = sum(
+            1 for op in plan.ops
+            if isinstance(op, (NeighborMatch, EdgeCheck))
+        )
+        assert bound == total_edges

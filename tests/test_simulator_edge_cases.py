@@ -1,0 +1,103 @@
+"""Edge-case tests for the simulator loop and clock handling."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, MachineMetrics, Simulator
+from repro.errors import RuntimeFault
+
+
+class _SleeperMachine:
+    """Does nothing until it receives a wakeup message."""
+
+    def __init__(self, api):
+        self.api = api
+        self.woke = api.machine_id == 0
+        self.sent = False
+        self.metrics = MachineMetrics()
+
+    def on_message(self, src, payload):
+        self.woke = True
+
+    def worker_step(self, worker_index, budget):
+        if self.api.machine_id == 0 and not self.sent:
+            self.sent = True
+            self.api.send(1, "wake")
+            return 1
+        return 0
+
+    def is_finished(self):
+        return self.woke
+
+
+class TestFastForward:
+    def test_clock_jumps_to_next_delivery(self):
+        config = ClusterConfig(num_machines=2, network_latency=500)
+        simulator = Simulator(config)
+        machines = [
+            _SleeperMachine(simulator.api_for(0)),
+            _SleeperMachine(simulator.api_for(1)),
+        ]
+        simulator.attach(machines)
+        metrics = simulator.run()
+        # The run must not iterate 500 empty ticks one by one: the clock
+        # fast-forwards, but the total still reflects the latency.
+        assert metrics.ticks >= 500
+        assert metrics.ticks < 510
+
+    def test_integer_clock_with_fractional_nic(self):
+        config = ClusterConfig(num_machines=2, network_latency=3,
+                               sender_messages_per_tick=3)
+        simulator = Simulator(config)
+        machines = [
+            _SleeperMachine(simulator.api_for(0)),
+            _SleeperMachine(simulator.api_for(1)),
+        ]
+        simulator.attach(machines)
+        metrics = simulator.run()
+        assert isinstance(metrics.ticks, int)
+
+
+class _StuckMachine:
+    def __init__(self, api):
+        self.metrics = MachineMetrics()
+
+    def on_message(self, src, payload):
+        pass
+
+    def worker_step(self, worker_index, budget):
+        return 0
+
+    def is_finished(self):
+        return False  # never
+
+
+class TestDeadlockDetection:
+    def test_idle_unfinished_raises(self):
+        config = ClusterConfig(num_machines=1)
+        simulator = Simulator(config)
+        simulator.attach([_StuckMachine(simulator.api_for(0))])
+        with pytest.raises(RuntimeFault):
+            simulator.run()
+
+
+class _BusyMachine:
+    def __init__(self, api):
+        self.metrics = MachineMetrics()
+
+    def on_message(self, src, payload):
+        pass
+
+    def worker_step(self, worker_index, budget):
+        return budget  # spins forever
+
+    def is_finished(self):
+        return False
+
+
+class TestMaxTicks:
+    def test_runaway_guard(self):
+        config = ClusterConfig(num_machines=1, max_ticks=100)
+        simulator = Simulator(config)
+        simulator.attach([_BusyMachine(simulator.api_for(0))])
+        with pytest.raises(RuntimeFault):
+            simulator.run()

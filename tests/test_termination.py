@@ -1,0 +1,72 @@
+"""Unit tests for the incremental termination protocol (paper §3.3)."""
+
+from repro.runtime.termination import TerminationTracker
+
+
+def make(num_stages=3, num_machines=3, machine_id=0):
+    return TerminationTracker(num_stages, num_machines, machine_id)
+
+
+class TestStageZero:
+    def test_needs_bootstrap(self):
+        tracker = make()
+        assert not tracker.newly_completable(0, False, 0, True)
+        assert tracker.newly_completable(0, True, 0, True)
+
+    def test_needs_drained_load(self):
+        tracker = make()
+        assert not tracker.newly_completable(0, True, 2, True)
+
+    def test_needs_flushed_outbuf(self):
+        tracker = make()
+        assert not tracker.newly_completable(0, True, 0, False)
+
+    def test_never_completes_twice(self):
+        tracker = make()
+        tracker.mark_sent(0)
+        assert not tracker.newly_completable(0, True, 0, True)
+
+
+class TestLaterStages:
+    def test_blocked_on_predecessor(self):
+        tracker = make(num_machines=2)
+        assert not tracker.newly_completable(1, True, 0, True)
+        tracker.mark_sent(0)          # our own COMPLETED(0)
+        assert not tracker.newly_completable(1, True, 0, True)
+        tracker.on_completed(0, 1)    # the peer's COMPLETED(0)
+        assert tracker.newly_completable(1, True, 0, True)
+
+    def test_cascade(self):
+        tracker = make(num_stages=3, num_machines=1)
+        for stage in range(3):
+            assert tracker.newly_completable(stage, True, 0, True)
+            tracker.mark_sent(stage)
+        assert tracker.all_complete()
+
+    def test_incremental_wavefront(self):
+        """Stages complete strictly in order, machine by machine."""
+        tracker = make(num_stages=2, num_machines=3)
+        tracker.mark_sent(0)
+        tracker.on_completed(0, 1)
+        # Machine 2 still missing: stage 1 must wait.
+        assert not tracker.newly_completable(1, True, 0, True)
+        tracker.on_completed(0, 2)
+        assert tracker.newly_completable(1, True, 0, True)
+
+
+class TestGlobalCompletion:
+    def test_all_complete_needs_every_machine_every_stage(self):
+        tracker = make(num_stages=2, num_machines=2)
+        tracker.mark_sent(0)
+        tracker.mark_sent(1)
+        assert not tracker.all_complete()
+        tracker.on_completed(0, 1)
+        tracker.on_completed(1, 1)
+        assert tracker.all_complete()
+
+    def test_stage_globally_complete(self):
+        tracker = make(num_stages=1, num_machines=2)
+        tracker.on_completed(0, 1)
+        assert not tracker.stage_globally_complete(0)
+        tracker.mark_sent(0)
+        assert tracker.stage_globally_complete(0)

@@ -1,0 +1,60 @@
+"""Tests for the worker's budget-debt accounting.
+
+An indivisible micro-operation may overshoot the per-tick budget; the
+overshoot must be repaid before new work so the long-run rate never
+exceeds ``ops_per_tick`` — otherwise simulated machines would get
+"faster" whenever stage costs exceed the tick quantum, distorting every
+baseline comparison.
+"""
+
+from repro import ClusterConfig, run_query, uniform_random_graph
+
+
+class TestDebtRepayment:
+    def test_long_run_rate_bounded(self):
+        """Total ops never exceed machine-ticks x workers x ops_per_tick."""
+        graph = uniform_random_graph(120, 720, seed=15)
+        # Many filter conjuncts make single operations cost ~6 ops while
+        # the budget is only 2 — maximal overshoot pressure.
+        query = (
+            "SELECT a, b WHERE (a)-[]->(b), a.value > 1, a.value < 9999, "
+            "b.value > 1, b.value < 9999, a.type >= 0"
+        )
+        config = ClusterConfig(
+            num_machines=2, workers_per_machine=2, ops_per_tick=2
+        )
+        result = run_query(graph, query, config)
+        capacity = (
+            result.metrics.ticks
+            * config.num_machines
+            * config.workers_per_machine
+            * config.ops_per_tick
+        )
+        assert result.metrics.total_ops <= capacity
+
+    def test_results_identical_across_budgets(self):
+        graph = uniform_random_graph(60, 300, seed=16)
+        query = "SELECT a, b WHERE (a)-[]->(b), a.type = b.type"
+        reference = None
+        for ops_per_tick in (1, 3, 64):
+            config = ClusterConfig(
+                num_machines=3, ops_per_tick=ops_per_tick
+            )
+            rows = sorted(run_query(graph, query, config).rows)
+            if reference is None:
+                reference = rows
+            assert rows == reference
+
+    def test_smaller_budget_means_more_ticks(self):
+        graph = uniform_random_graph(100, 600, seed=17)
+        query = "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c)"
+        fast = run_query(
+            graph, query,
+            ClusterConfig(num_machines=2, ops_per_tick=64),
+        )
+        slow = run_query(
+            graph, query,
+            ClusterConfig(num_machines=2, ops_per_tick=2),
+        )
+        assert slow.metrics.ticks > 4 * fast.metrics.ticks
+        assert sorted(slow.rows) == sorted(fast.rows)
