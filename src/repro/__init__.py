@@ -23,8 +23,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every reproduced figure.
 """
 
+from repro.baselines import (
+    BftEngine,
+    JoinEngine,
+    SharedMemoryEngine,
+)
 from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import QueryMetrics
+from repro.engine_api import Engine, available_engines
 from repro.errors import (
     ClusterConfigError,
     FlowControlError,
@@ -57,6 +63,7 @@ from repro.plan import (
     SchedulingPolicy,
     plan_query,
 )
+from repro.obs import Tracer, TraceProfile
 from repro.runtime import (
     PgxdAsyncEngine,
     QueryResult,
@@ -68,13 +75,21 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
-    # engine
+    # engines (unified Engine contract, see repro.engine_api)
+    "Engine",
+    "available_engines",
     "PgxdAsyncEngine",
+    "SharedMemoryEngine",
+    "BftEngine",
+    "JoinEngine",
     "run_query",
     "QueryResult",
     "ResultSet",
     "ClusterConfig",
     "QueryMetrics",
+    # observability
+    "Tracer",
+    "TraceProfile",
     # graph
     "GraphBuilder",
     "PropertyGraph",

@@ -6,10 +6,22 @@
   "BFT" strategy of §2;
 * :class:`JoinEngine` — eager relational joins over binding tables, the
   GraphFrames-style strategy of §2.
+
+All three implement the unified :class:`repro.engine_api.Engine`
+contract — ``Engine(graph, config=None, **kw)`` construction and
+``query(query, options=None) -> QueryResult`` — so any engine can be
+swapped into an experiment without changing the calling code.
 """
 
 from repro.baselines.bft_engine import BftEngine
 from repro.baselines.join_engine import JoinEngine
 from repro.baselines.single_machine import SharedMemoryEngine
+from repro.engine_api import Engine, available_engines
 
-__all__ = ["SharedMemoryEngine", "BftEngine", "JoinEngine"]
+__all__ = [
+    "Engine",
+    "available_engines",
+    "SharedMemoryEngine",
+    "BftEngine",
+    "JoinEngine",
+]

@@ -22,6 +22,7 @@ from collections import defaultdict
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import QueryMetrics
+from repro.engine_api import Engine
 from repro.errors import PlanError
 from repro.graph.distributed import DistributedGraph
 from repro.graph.types import Direction
@@ -35,7 +36,7 @@ from repro.runtime.engine import QueryResult
 BARRIER_TICKS = 4
 
 
-class BftEngine:
+class BftEngine(Engine):
     """Distributed breadth-first / bulk-synchronous matcher."""
 
     def __init__(self, graph, config=None, partitioner=None):
@@ -49,6 +50,16 @@ class BftEngine:
         self.graph = self.dist_graph.graph
 
     def query(self, query, options=None):
+        if isinstance(query, str):
+            from repro.pgql import parse_and_validate
+
+            query = parse_and_validate(query)
+        from repro.plan.paths import has_quantified_paths
+
+        if has_quantified_paths(query):
+            from repro.runtime.engine import execute_union
+
+            return execute_union(query, options, self.query)
         plan = plan_query(query, self.graph, options or PlannerOptions())
         return self.execute_plan(plan)
 

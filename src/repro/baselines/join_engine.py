@@ -16,7 +16,9 @@ benches contrast with the DFT engine's bounded live state.
 
 from collections import defaultdict
 
+from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import QueryMetrics
+from repro.engine_api import Engine
 from repro.errors import PlanError
 from repro.graph.types import Direction
 from repro.pgql import parse_and_validate
@@ -66,11 +68,15 @@ class _BindingEnv(EvalEnv):
         return self._graph.has_edge_prop(prop)
 
 
-class JoinEngine:
+class JoinEngine(Engine):
     """Evaluates patterns with eager hash joins over binding tables."""
 
-    def __init__(self, graph):
+    def __init__(self, graph, config=None):
         self.graph = graph
+        # The join baseline is single-machine; the config only supplies
+        # the unified Engine constructor shape (and the machine count
+        # reported in metrics).
+        self.config = config or ClusterConfig(num_machines=1)
         # Hash indexes of the edge table, built once per engine.
         self._by_src = defaultdict(list)
         self._by_dst = defaultdict(list)
@@ -85,6 +91,12 @@ class JoinEngine:
             query = parse_and_validate(query)
         elif not isinstance(query, Query):
             raise TypeError("expected PGQL text or a parsed Query")
+        from repro.plan.paths import has_quantified_paths
+
+        if has_quantified_paths(query):
+            from repro.runtime.engine import execute_union
+
+            return execute_union(query, options, self.query)
         if options.semantics is not MatchSemantics.HOMOMORPHISM:
             raise PlanError("the join baseline implements homomorphism only")
         from repro.pgql.expressions import contains_aggregate

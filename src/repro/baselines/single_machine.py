@@ -14,6 +14,7 @@ both engines must produce identical result multisets.
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import QueryMetrics
+from repro.engine_api import Engine
 from repro.plan import PlannerOptions, plan_query
 from repro.plan.distributed import HopKind
 from repro.runtime.aggregation import finalize
@@ -35,7 +36,7 @@ class _Stats:
             self.peak_frames = self.live_frames
 
 
-class SharedMemoryEngine:
+class SharedMemoryEngine(Engine):
     """PGX-like in-memory pattern matcher over an unpartitioned graph."""
 
     def __init__(self, graph, config=None):

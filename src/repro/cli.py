@@ -8,6 +8,9 @@ Usage examples::
     python -m repro query --graph data/graph.json --explain \\
         "SELECT COUNT(*) WHERE (a)-[:friend]->(b)"
 
+    python -m repro trace --random 1000x5000 --machines 4 \\
+        "SELECT a, b WHERE (a)-[]->(b)" --chrome-out trace.json
+
     python -m repro analyze --random 1000x5000 pagerank --iterations 20
 
     python -m repro analyze --bsbm 500 wcc
@@ -32,17 +35,27 @@ def build_parser():
 
     query = subparsers.add_parser("query", help="run a PGQL query")
     _add_graph_args(query)
-    query.add_argument("pgql", help="the PGQL query text")
-    query.add_argument("--semantics", default="homomorphism",
-                       choices=[s.value for s in MatchSemantics])
-    query.add_argument("--schedule", action="store_true",
-                       help="enable selectivity-based vertex ordering")
-    query.add_argument("--common-neighbors", action="store_true",
-                       help="enable the specialized common-neighbor hop")
+    _add_query_args(query)
     query.add_argument("--explain", action="store_true",
                        help="print the stage plan instead of executing")
+    query.add_argument("--explain-analyze", action="store_true",
+                       help="print the stage plan annotated with runtime "
+                            "counters after executing")
     query.add_argument("--limit-print", type=int, default=20,
                        help="max rows to print (default 20)")
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run a PGQL query with event tracing and report the timeline",
+    )
+    _add_graph_args(trace)
+    _add_query_args(trace)
+    trace.add_argument("--chrome-out", metavar="PATH",
+                       help="write a chrome://tracing JSON file")
+    trace.add_argument("--width", type=int, default=72,
+                       help="timeline width in columns (default 72)")
+    trace.add_argument("--max-events", type=int, default=1_000_000,
+                       help="cap on recorded trace events")
 
     analyze = subparsers.add_parser("analyze", help="run a BSP algorithm")
     _add_graph_args(analyze)
@@ -57,6 +70,16 @@ def build_parser():
     analyze.add_argument("--top", type=int, default=10,
                          help="print the top-N vertices")
     return parser
+
+
+def _add_query_args(sub):
+    sub.add_argument("pgql", help="the PGQL query text")
+    sub.add_argument("--semantics", default="homomorphism",
+                     choices=[s.value for s in MatchSemantics])
+    sub.add_argument("--schedule", action="store_true",
+                     help="enable selectivity-based vertex ordering")
+    sub.add_argument("--common-neighbors", action="store_true",
+                     help="enable the specialized common-neighbor hop")
 
 
 def _add_graph_args(sub):
@@ -91,10 +114,12 @@ def load_graph(args):
     return generate_bsbm(args.bsbm, seed=args.seed).graph
 
 
-def cmd_query(args):
+def _build_engine(args, trace=False, **config_overrides):
+    """Shared setup of the query/trace subcommands."""
     graph = load_graph(args)
     config = ClusterConfig(num_machines=args.machines,
-                           workers_per_machine=args.workers)
+                           workers_per_machine=args.workers,
+                           **config_overrides)
     options = PlannerOptions(
         semantics=MatchSemantics(args.semantics),
         scheduling=(
@@ -103,6 +128,7 @@ def cmd_query(args):
             else SchedulingPolicy.APPEARANCE
         ),
         use_common_neighbors=args.common_neighbors,
+        trace=trace,
     )
     if args.ghost_threshold is not None:
         from repro.graph import DistributedGraph
@@ -111,7 +137,11 @@ def cmd_query(args):
             graph, config.num_machines,
             ghost_threshold=args.ghost_threshold,
         )
-    engine = PgxdAsyncEngine(graph, config)
+    return PgxdAsyncEngine(graph, config), options
+
+
+def cmd_query(args):
+    engine, options = _build_engine(args, trace=args.explain_analyze)
     if args.explain:
         plan = engine.plan(args.pgql, options)
         print(plan.describe())
@@ -121,6 +151,32 @@ def cmd_query(args):
     print()
     print("rows     :", len(result.rows))
     print("metrics  :", result.metrics.summary())
+    if args.explain_analyze:
+        print()
+        print(result.explain_analyze())
+    return 0
+
+
+def cmd_trace(args):
+    engine, options = _build_engine(
+        args, trace=True, trace_max_events=args.max_events
+    )
+    result = engine.query(args.pgql, options)
+    trace = result.trace
+    print("rows     :", len(result.rows))
+    print("metrics  :", result.metrics.summary())
+    print(trace.summary())
+    print()
+    print(result.explain_analyze())
+    print()
+    print(trace.profile().summary())
+    print()
+    print(trace.timeline(width=args.width))
+    if args.chrome_out:
+        trace.to_chrome_json(args.chrome_out)
+        print()
+        print("chrome trace written to %s (open in chrome://tracing)"
+              % args.chrome_out)
     return 0
 
 
@@ -169,6 +225,8 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.command == "query":
         return cmd_query(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     return cmd_analyze(args)
 
 

@@ -62,6 +62,19 @@ class ClusterConfig:
     #: the intra-machine workload balancing capabilities").
     work_sharing: bool = True
 
+    # ------------------------------------------------------------------
+    # Observability (repro.obs)
+    # ------------------------------------------------------------------
+    #: Record a structured event trace for every query run on this
+    #: cluster (``QueryResult.trace``).  Off by default: the runtime then
+    #: carries no tracer and instrumentation sites reduce to a single
+    #: ``is not None`` check.  Per-query tracing is also available via
+    #: ``PlannerOptions(trace=True)``.
+    trace: bool = False
+    #: Cap on recorded trace events per query (excess events are counted
+    #: in ``trace.dropped`` instead of stored).
+    trace_max_events: int = 1_000_000
+
     #: Hard cap on ticks before the simulator declares a hang (guards
     #: against runtime bugs during development; never hit by the tests).
     max_ticks: int = 50_000_000

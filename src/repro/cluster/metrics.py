@@ -7,7 +7,7 @@ the paper: ``peak_buffered_contexts`` is the quantity flow control is
 supposed to keep below the configured budget.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -41,6 +41,24 @@ class MachineMetrics:
         self.cur_live_frames += delta
         if self.cur_live_frames > self.peak_live_frames:
             self.peak_live_frames = self.cur_live_frames
+
+    #: Gauge peaks combined by ``max`` in :meth:`merge`; the ``cur_*``
+    #: gauges of a finished run are transient and not merged.
+    _MERGE_BY_MAX = frozenset({"peak_buffered_contexts", "peak_live_frames"})
+    _MERGE_SKIP = frozenset({"cur_buffered_contexts", "cur_live_frames"})
+
+    def merge(self, other):
+        """Accumulate *other* into this record (sequential composition)."""
+        for spec in fields(self):
+            if spec.name in self._MERGE_SKIP:
+                continue
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if spec.name in self._MERGE_BY_MAX:
+                setattr(self, spec.name, max(mine, theirs))
+            else:
+                setattr(self, spec.name, mine + theirs)
+        return self
 
 
 @dataclass
@@ -88,6 +106,40 @@ class QueryMetrics:
             )
         metrics.per_machine = list(machine_metrics)
         return metrics
+
+    #: Fields combined by ``max`` in :meth:`merge`; every other numeric
+    #: field is summed, so a newly added counter is merged correctly by
+    #: default instead of silently dropping out of union aggregation.
+    _MERGE_BY_MAX = frozenset(
+        {"num_machines", "peak_buffered_contexts", "peak_live_frames"}
+    )
+
+    def merge(self, other):
+        """Accumulate *other* into this record (sequential composition).
+
+        Used when one logical query runs as several physical executions
+        back to back — e.g. the expansions of a variable-length-path
+        union.  Counters and times add up; high-water marks and the
+        machine count take the maximum.  ``per_machine`` lists are merged
+        positionally when both runs used the same cluster shape and
+        dropped otherwise (a max of peaks across differently-shaped runs
+        would be meaningless).
+        """
+        for spec in fields(self):
+            if spec.name == "per_machine":
+                continue
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if spec.name in self._MERGE_BY_MAX:
+                setattr(self, spec.name, max(mine, theirs))
+            else:
+                setattr(self, spec.name, mine + theirs)
+        if len(self.per_machine) == len(other.per_machine):
+            for mine, theirs in zip(self.per_machine, other.per_machine):
+                mine.merge(theirs)
+        else:
+            self.per_machine = []
+        return self
 
     def summary(self):
         """One-line human summary, used by examples and benchmarks."""

@@ -56,15 +56,24 @@ class MachineAPI:
     def send(self, dst, payload, size=0):
         if dst == self.machine_id:
             raise RuntimeFault("machine %d sent a message to itself" % dst)
-        self._simulator.network.send(
-            self._simulator.now, self.machine_id, dst, payload, size
+        simulator = self._simulator
+        deliver_at = simulator.network.send(
+            simulator.now, self.machine_id, dst, payload, size
         )
+        if simulator.tracer is not None:
+            from repro.obs.events import MessageSend
+
+            simulator.tracer.emit(MessageSend(
+                simulator.now, self.machine_id, dst,
+                type(payload).__name__, getattr(payload, "stage", None),
+                size, deliver_at,
+            ))
 
 
 class Simulator:
     """Drives machines tick by tick until global completion."""
 
-    def __init__(self, config):
+    def __init__(self, config, tracer=None):
         self._config = config
         self.network = Network(
             latency=config.network_latency,
@@ -73,6 +82,8 @@ class Simulator:
         )
         self.now = 0
         self._machines = []
+        #: Optional repro.obs.Tracer; None keeps every hot path untraced.
+        self.tracer = tracer
 
     @property
     def num_machines(self):
@@ -104,8 +115,19 @@ class Simulator:
         started = time.perf_counter()
         workers = config.workers_per_machine
         budget = config.ops_per_tick
+        tracer = self.tracer
+        if tracer is not None:
+            from repro.obs.events import MessageDeliver, TickSample
+
+            last_ops = [machine.metrics.ops for machine in machines]
         while True:
             for envelope in self.network.deliver_due(self.now):
+                if tracer is not None:
+                    tracer.emit(MessageDeliver(
+                        self.now, envelope.src, envelope.dst,
+                        type(envelope.payload).__name__,
+                        getattr(envelope.payload, "stage", None),
+                    ))
                 machines[envelope.dst].on_message(envelope.src, envelope.payload)
 
             all_idle = True
@@ -114,6 +136,20 @@ class Simulator:
                     used = machine.worker_step(worker_index, budget)
                     if used:
                         all_idle = False
+
+            if tracer is not None:
+                samples = []
+                for index, machine in enumerate(machines):
+                    metrics = machine.metrics
+                    flow = getattr(machine, "flow", None)
+                    samples.append((
+                        metrics.ops - last_ops[index],
+                        metrics.cur_buffered_contexts,
+                        metrics.cur_live_frames,
+                        flow.inflight_total() if flow is not None else 0,
+                    ))
+                    last_ops[index] = metrics.ops
+                tracer.emit(TickSample(self.now, tuple(samples)))
 
             if all(machine.is_finished() for machine in machines):
                 if len(self.network) == 0:
@@ -134,6 +170,8 @@ class Simulator:
                 raise RuntimeFault("simulation exceeded max_ticks")
 
         wall = time.perf_counter() - started
+        if tracer is not None:
+            tracer.meta["ticks"] = self.now
         return QueryMetrics.collect(
             self.now,
             [machine.metrics for machine in machines],

@@ -1,0 +1,62 @@
+"""The common engine contract shared by every query engine.
+
+All four engines — the paper's :class:`~repro.runtime.engine.
+PgxdAsyncEngine` and the three comparison baselines (:class:`~repro.
+baselines.SharedMemoryEngine`, :class:`~repro.baselines.BftEngine`,
+:class:`~repro.baselines.JoinEngine`) — implement one surface:
+
+* construction takes ``(graph, config=None, **engine_specific)``, where
+  *graph* is a :class:`~repro.graph.graph.PropertyGraph` (or, for the
+  distributed engines, a pre-partitioned :class:`~repro.graph.
+  distributed.DistributedGraph`) and *config* a :class:`~repro.cluster.
+  config.ClusterConfig`;
+* ``query(query, options=None)`` accepts PGQL text or a parsed
+  :class:`~repro.pgql.ast.Query` plus optional :class:`~repro.plan.
+  options.PlannerOptions` and returns a :class:`~repro.runtime.engine.
+  QueryResult` with populated ``metrics``.
+
+An engine may reject *features* it does not implement (e.g. the join
+baseline raises :class:`~repro.errors.PlanError` for aggregates), but
+never the calling convention.  ``tests/test_engine_api.py`` holds the
+conformance suite every engine must pass.
+"""
+
+import abc
+
+
+class Engine(abc.ABC):
+    """Abstract base class for pattern-matching query engines."""
+
+    #: The graph the engine answers queries over (a PropertyGraph).
+    graph = None
+    #: The ClusterConfig the engine executes under.
+    config = None
+
+    @abc.abstractmethod
+    def query(self, query, options=None):
+        """Execute *query* (PGQL text or parsed Query) end to end.
+
+        Returns a :class:`~repro.runtime.engine.QueryResult`; *options*
+        is a :class:`~repro.plan.options.PlannerOptions` or None.
+        """
+
+    def __repr__(self):
+        machines = getattr(self.config, "num_machines", "?")
+        return "%s(vertices=%s, machines=%s)" % (
+            type(self).__name__,
+            getattr(self.graph, "num_vertices", "?"),
+            machines,
+        )
+
+
+def available_engines():
+    """Name -> class map of every built-in engine (lazy imports)."""
+    from repro.baselines import BftEngine, JoinEngine, SharedMemoryEngine
+    from repro.runtime.engine import PgxdAsyncEngine
+
+    return {
+        "async": PgxdAsyncEngine,
+        "shared-memory": SharedMemoryEngine,
+        "bft": BftEngine,
+        "join": JoinEngine,
+    }

@@ -1,0 +1,57 @@
+"""Observability: structured tracing and profiling for query executions.
+
+Enable tracing per query (``PlannerOptions(trace=True)``) or per cluster
+(``ClusterConfig(trace=True)``); the engine then threads a
+:class:`Tracer` through the simulator, network, machines, workers, flow
+control, and the termination protocol, and returns it as
+``QueryResult.trace``::
+
+    result = engine.query(pgql, options=PlannerOptions(trace=True))
+    result.trace.kinds()                  # distinct event types seen
+    result.trace.profile().summary()      # per-stage / per-machine stats
+    result.trace.to_chrome_json("trace.json")   # open in chrome://tracing
+    print(result.trace.timeline())        # plain-text utilization rows
+
+When tracing is off (the default) the runtime holds ``None`` instead of
+a tracer and every instrumentation site reduces to one ``is not None``
+check — see ``benchmarks/test_txt2_trace_overhead.py``.
+"""
+
+from repro.obs.events import (
+    EVENT_KINDS,
+    FlowBlock,
+    FlowUnblock,
+    GhostPrune,
+    MessageDeliver,
+    MessageSend,
+    QuotaGranted,
+    QuotaRequested,
+    ResultEmitted,
+    StageCompleted,
+    TickSample,
+    TraceEvent,
+    WorkerSpan,
+)
+from repro.obs.export import chrome_trace, render_timeline
+from repro.obs.profile import TraceProfile
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "Tracer",
+    "TraceProfile",
+    "TraceEvent",
+    "EVENT_KINDS",
+    "TickSample",
+    "WorkerSpan",
+    "MessageSend",
+    "MessageDeliver",
+    "FlowBlock",
+    "FlowUnblock",
+    "QuotaRequested",
+    "QuotaGranted",
+    "StageCompleted",
+    "GhostPrune",
+    "ResultEmitted",
+    "chrome_trace",
+    "render_timeline",
+]

@@ -1,0 +1,215 @@
+"""Typed trace events emitted by the runtime.
+
+Every event is a small ``__slots__`` record with a class-level ``kind``
+string and the simulated ``tick`` it happened on.  Events are only ever
+constructed when a :class:`~repro.obs.tracer.Tracer` is installed, so
+the disabled-tracer fast path allocates nothing (see ``docs/
+observability.md`` for the catalogue and how each kind maps onto the
+paper's mechanisms).
+"""
+
+
+def _all_slots(cls):
+    slots = []
+    for klass in reversed(cls.__mro__):
+        slots.extend(getattr(klass, "__slots__", ()))
+    return slots
+
+
+class TraceEvent:
+    """Base class: one timestamped runtime event."""
+
+    __slots__ = ("tick",)
+    kind = "event"
+
+    def __init__(self, tick):
+        self.tick = tick
+
+    def to_dict(self):
+        record = {"kind": self.kind}
+        for slot in _all_slots(type(self)):
+            record[slot] = getattr(self, slot)
+        return record
+
+    def __repr__(self):
+        fields = ", ".join(
+            "%s=%r" % (slot, getattr(self, slot))
+            for slot in _all_slots(type(self))
+        )
+        return "%s(%s)" % (type(self).__name__, fields)
+
+
+class TickSample(TraceEvent):
+    """One simulator tick: per-machine gauges sampled after all workers ran.
+
+    ``machines`` is a tuple with one ``(ops, buffered, frames, inflight)``
+    entry per machine: micro-ops executed this tick, buffered contexts
+    (inbox + parked + outgoing), live traversal frames, and the machine's
+    total in-flight flow-control window occupancy.
+    """
+
+    __slots__ = ("machines",)
+    kind = "tick"
+
+    def __init__(self, tick, machines):
+        super().__init__(tick)
+        self.machines = machines
+
+
+class WorkerSpan(TraceEvent):
+    """A worker ran *ops* micro-ops of *stage* during one tick.
+
+    ``offset`` is the number of micro-ops the worker had already consumed
+    earlier in the same tick, so spans can be laid out sub-tick in the
+    Chrome-trace export.  ``stage`` is the root stage of the computation
+    the worker serviced (-1 for idle-progress buffer flushing).
+    """
+
+    __slots__ = ("machine", "worker", "stage", "ops", "offset")
+    kind = "worker_span"
+
+    def __init__(self, tick, machine, worker, stage, ops, offset):
+        super().__init__(tick)
+        self.machine = machine
+        self.worker = worker
+        self.stage = stage
+        self.ops = ops
+        self.offset = offset
+
+
+class MessageSend(TraceEvent):
+    """A payload was handed to the network (work or control traffic)."""
+
+    __slots__ = ("src", "dst", "payload", "stage", "size", "deliver_at")
+    kind = "message_send"
+
+    def __init__(self, tick, src, dst, payload, stage, size, deliver_at):
+        super().__init__(tick)
+        self.src = src
+        self.dst = dst
+        self.payload = payload  # payload class name, e.g. "WorkMessage"
+        self.stage = stage
+        self.size = size
+        self.deliver_at = deliver_at
+
+
+class MessageDeliver(TraceEvent):
+    """A payload reached its destination machine."""
+
+    __slots__ = ("src", "dst", "payload", "stage")
+    kind = "message_deliver"
+
+    def __init__(self, tick, src, dst, payload, stage):
+        super().__init__(tick)
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.stage = stage
+
+
+class FlowBlock(TraceEvent):
+    """Flow control refused a send: window for (stage, dest) exhausted."""
+
+    __slots__ = ("machine", "stage", "dest")
+    kind = "flow_block"
+
+    def __init__(self, tick, machine, stage, dest):
+        super().__init__(tick)
+        self.machine = machine
+        self.stage = stage
+        self.dest = dest
+
+
+class FlowUnblock(TraceEvent):
+    """A parked computation's refused send channel opened up again."""
+
+    __slots__ = ("machine", "stage", "dest")
+    kind = "flow_unblock"
+
+    def __init__(self, tick, machine, stage, dest):
+        super().__init__(tick)
+        self.machine = machine
+        self.stage = stage
+        self.dest = dest
+
+
+class QuotaRequested(TraceEvent):
+    """Dynamic flow control: asked *peer* for window capacity."""
+
+    __slots__ = ("machine", "stage", "dest", "peer")
+    kind = "quota_request"
+
+    def __init__(self, tick, machine, stage, dest, peer):
+        super().__init__(tick)
+        self.machine = machine
+        self.stage = stage
+        self.dest = dest
+        self.peer = peer
+
+
+class QuotaGranted(TraceEvent):
+    """Dynamic flow control: received *amount* donated window slots."""
+
+    __slots__ = ("machine", "stage", "dest", "amount")
+    kind = "quota_grant"
+
+    def __init__(self, tick, machine, stage, dest, amount):
+        super().__init__(tick)
+        self.machine = machine
+        self.stage = stage
+        self.dest = dest
+        self.amount = amount
+
+
+class StageCompleted(TraceEvent):
+    """Termination protocol: *machine* declared *stage* complete."""
+
+    __slots__ = ("machine", "stage")
+    kind = "stage_completed"
+
+    def __init__(self, tick, machine, stage):
+        super().__init__(tick)
+        self.machine = machine
+        self.stage = stage
+
+
+class GhostPrune(TraceEvent):
+    """The ghost-node pre-filter dropped a context before shipping it."""
+
+    __slots__ = ("machine", "stage")
+    kind = "ghost_prune"
+
+    def __init__(self, tick, machine, stage):
+        super().__init__(tick)
+        self.machine = machine
+        self.stage = stage
+
+
+class ResultEmitted(TraceEvent):
+    """A machine emitted one final match into its result collector."""
+
+    __slots__ = ("machine",)
+    kind = "result"
+
+    def __init__(self, tick, machine):
+        super().__init__(tick)
+        self.machine = machine
+
+
+#: Every concrete event kind, for documentation and validation.
+EVENT_KINDS = tuple(
+    cls.kind
+    for cls in (
+        TickSample,
+        WorkerSpan,
+        MessageSend,
+        MessageDeliver,
+        FlowBlock,
+        FlowUnblock,
+        QuotaRequested,
+        QuotaGranted,
+        StageCompleted,
+        GhostPrune,
+        ResultEmitted,
+    )
+)

@@ -1,0 +1,185 @@
+"""Trace exporters: Chrome-trace JSON and a plain-text timeline.
+
+``chrome_trace`` produces the Trace Event Format consumed by
+``chrome://tracing`` and Perfetto: one *process* per simulated machine,
+one *thread* per worker, complete ("X") events for worker spans, instant
+("i") events for flow-control and protocol activity, and counter ("C")
+tracks for the per-machine memory gauges.  Simulated ticks are mapped to
+microseconds (1 tick = 1 us) with sub-tick placement of worker spans by
+their micro-op offset within the tick.
+"""
+
+_INSTANT_KINDS = {
+    "flow_block": "flow block",
+    "flow_unblock": "flow unblock",
+    "quota_request": "quota request",
+    "quota_grant": "quota grant",
+    "stage_completed": "COMPLETED",
+    "ghost_prune": "ghost prune",
+    "result": "result",
+}
+
+
+def _span_bounds(event, ops_per_tick):
+    """(ts, dur) of a worker span in microsecond ticks, sub-tick placed."""
+    scale = 1.0 / max(1, ops_per_tick)
+    ts = event.tick + event.offset * scale
+    dur = max(event.ops * scale, 0.01)
+    return ts, dur
+
+
+def chrome_trace(tracer):
+    """Build the Trace Event Format JSON object for *tracer*."""
+    meta = tracer.meta
+    ops_per_tick = meta.get("ops_per_tick", 1)
+    events = []
+
+    machines = meta.get("num_machines", 0)
+    workers = meta.get("workers_per_machine", 0)
+    for machine in range(machines):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": machine, "tid": 0,
+            "args": {"name": "machine %d" % machine},
+        })
+        for worker in range(workers):
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": machine,
+                "tid": worker, "args": {"name": "worker %d" % worker},
+            })
+
+    for event in tracer.events:
+        kind = event.kind
+        if kind == "worker_span":
+            ts, dur = _span_bounds(event, ops_per_tick)
+            name = (
+                "idle-flush" if event.stage < 0
+                else "stage %d" % event.stage
+            )
+            events.append({
+                "ph": "X", "name": name, "cat": "worker",
+                "pid": event.machine, "tid": event.worker,
+                "ts": round(ts, 3), "dur": round(dur, 3),
+                "args": {"ops": event.ops},
+            })
+        elif kind == "tick":
+            for machine, sample in enumerate(event.machines):
+                ops, buffered, frames, inflight = sample
+                events.append({
+                    "ph": "C", "name": "memory", "cat": "gauges",
+                    "pid": machine, "tid": 0, "ts": event.tick,
+                    "args": {
+                        "buffered_contexts": buffered,
+                        "live_frames": frames,
+                        "inflight_window": inflight,
+                    },
+                })
+        elif kind == "message_send":
+            events.append({
+                "ph": "i", "s": "p",
+                "name": "send %s" % event.payload, "cat": "network",
+                "pid": event.src, "tid": 0, "ts": event.tick,
+                "args": {
+                    "dst": event.dst, "stage": event.stage,
+                    "size": event.size, "deliver_at": event.deliver_at,
+                },
+            })
+        elif kind == "message_deliver":
+            events.append({
+                "ph": "i", "s": "p",
+                "name": "recv %s" % event.payload, "cat": "network",
+                "pid": event.dst, "tid": 0, "ts": event.tick,
+                "args": {"src": event.src, "stage": event.stage},
+            })
+        elif kind in _INSTANT_KINDS:
+            args = {}
+            for attr in ("stage", "dest", "peer", "amount"):
+                if hasattr(event, attr):
+                    args[attr] = getattr(event, attr)
+            events.append({
+                "ph": "i", "s": "p", "name": _INSTANT_KINDS[kind],
+                "cat": "protocol", "pid": getattr(event, "machine", 0),
+                "tid": 0, "ts": event.tick, "args": args,
+            })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "engine": "PGX.D/Async reproduction",
+            "ticks": meta.get("ticks"),
+            "num_machines": machines,
+            "num_stages": meta.get("num_stages"),
+            "dropped_events": tracer.dropped,
+        },
+    }
+
+
+#: Five utilization levels, idle to saturated.
+_LEVELS = " .:*#"
+
+
+def render_timeline(tracer, width=72):
+    """Plain-text timeline: one utilization row per machine.
+
+    Ticks are bucketed into *width* columns; each cell shows the average
+    worker utilization of that machine over the bucket (`` ``=idle ..
+    ``#``=saturated), with ``!`` overlaid on buckets where that machine
+    had sends refused by flow control.
+    """
+    profile_ticks = {}
+    blocks = {}
+    last_tick = 0
+    capacity = max(
+        1,
+        tracer.meta.get("workers_per_machine", 1)
+        * tracer.meta.get("ops_per_tick", 1),
+    )
+    for event in tracer.events:
+        last_tick = max(last_tick, event.tick)
+        if event.kind == "tick":
+            for machine, sample in enumerate(event.machines):
+                profile_ticks.setdefault(machine, []).append(
+                    (event.tick, sample[0])
+                )
+        elif event.kind == "flow_block":
+            blocks.setdefault(event.machine, set()).add(event.tick)
+
+    if not profile_ticks:
+        return "(empty trace)"
+    span = max(1, last_tick + 1)
+    width = max(8, min(width, span))
+    per_bucket = span / width
+
+    lines = [
+        "timeline: %d ticks across %d machines "
+        "(%s = worker utilization, ! = flow-control block)"
+        % (span, len(profile_ticks), _LEVELS.strip() or ".:*#"),
+    ]
+    for machine in sorted(profile_ticks):
+        busy = [0.0] * width
+        count = [0] * width
+        for tick, ops in profile_ticks[machine]:
+            bucket = min(width - 1, int(tick / per_bucket))
+            busy[bucket] += min(1.0, ops / capacity)
+            count[bucket] += 1
+        cells = []
+        blocked = blocks.get(machine, ())
+        blocked_buckets = {
+            min(width - 1, int(tick / per_bucket)) for tick in blocked
+        }
+        for bucket in range(width):
+            if bucket in blocked_buckets:
+                cells.append("!")
+                continue
+            if count[bucket] == 0:
+                cells.append(" ")
+                continue
+            fraction = busy[bucket] / count[bucket]
+            cells.append(_LEVELS[
+                min(len(_LEVELS) - 1, int(fraction * (len(_LEVELS) - 1) + 0.5))
+            ])
+        lines.append("m%-3d |%s|" % (machine, "".join(cells)))
+    lines.append(
+        "      0%s%d ticks" % (" " * max(1, width - len(str(span)) - 1), span)
+    )
+    return "\n".join(lines)

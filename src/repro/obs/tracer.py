@@ -1,0 +1,132 @@
+"""The trace collector installed into a query execution.
+
+A :class:`Tracer` is an append-only event bus.  The runtime holds either
+a tracer or ``None``; every instrumentation site is guarded by a single
+``if trace is not None`` check, so the disabled path costs one pointer
+comparison and allocates nothing — the property the TXT2 benchmark
+(``benchmarks/test_txt2_trace_overhead.py``) keeps honest.
+
+The tracer doubles as the user-facing trace: ``QueryResult.trace`` *is*
+the tracer that recorded the run, carrying the event list, run metadata,
+and the analysis/export entry points (:meth:`profile`,
+:meth:`to_chrome_trace`, :meth:`timeline`).
+"""
+
+from collections import Counter
+
+
+class Tracer:
+    """Collects typed runtime events for one query execution."""
+
+    def __init__(self, max_events=1_000_000):
+        #: Recorded events, in emission order (ticks are nondecreasing).
+        self.events = []
+        #: Events discarded after hitting ``max_events``.
+        self.dropped = 0
+        self.max_events = max_events
+        #: Run metadata filled in by the engine: ``num_machines``,
+        #: ``num_stages``, ``workers_per_machine``, ``ops_per_tick``,
+        #: and (after the run) ``ticks``.
+        self.meta = {}
+
+    # ------------------------------------------------------------------
+    # Collection (the runtime-facing half)
+    # ------------------------------------------------------------------
+    def emit(self, event):
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Inspection (the user-facing half)
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self):
+        return len(self.events)
+
+    def __repr__(self):
+        return "Tracer(events=%d, kinds=%d, dropped=%d)" % (
+            len(self.events), len(self.kinds()), self.dropped,
+        )
+
+    def kinds(self):
+        """The set of distinct event kinds recorded."""
+        return {event.kind for event in self.events}
+
+    def counts(self):
+        """``Counter`` of events per kind."""
+        return Counter(event.kind for event in self.events)
+
+    def events_of(self, kind):
+        """All events of one *kind*, in order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def profile(self):
+        """Fold the event stream into a :class:`TraceProfile`."""
+        from repro.obs.profile import TraceProfile
+
+        return TraceProfile(self)
+
+    def to_chrome_trace(self):
+        """The run as a ``chrome://tracing`` / Perfetto JSON object."""
+        from repro.obs.export import chrome_trace
+
+        return chrome_trace(self)
+
+    def to_chrome_json(self, path=None, indent=None):
+        """Chrome-trace JSON text; also written to *path* when given."""
+        import json
+
+        text = json.dumps(self.to_chrome_trace(), indent=indent)
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text)
+        return text
+
+    def timeline(self, width=72):
+        """Plain-text per-machine utilization timeline."""
+        from repro.obs.export import render_timeline
+
+        return render_timeline(self, width=width)
+
+    def summary(self):
+        """One paragraph of event counts, for CLI/debug output."""
+        counts = self.counts()
+        parts = [
+            "%s=%d" % (kind, counts[kind]) for kind in sorted(counts)
+        ]
+        line = "trace: %d events (%s)" % (len(self.events), ", ".join(parts))
+        if self.dropped:
+            line += " [+%d dropped]" % self.dropped
+        return line
+
+    # ------------------------------------------------------------------
+    # Composition (union queries run expansions back to back)
+    # ------------------------------------------------------------------
+    def extend(self, other, tick_offset=0):
+        """Append *other*'s events, shifting their ticks by *tick_offset*.
+
+        Used by ``execute_union``: each expansion records its own trace
+        starting at tick 0; offsetting by the accumulated tick count
+        lays the expansions out end to end on one timeline.
+        """
+        for event in other.events:
+            if len(self.events) >= self.max_events:
+                self.dropped += len(other.events) - other.events.index(event)
+                break
+            event.tick += tick_offset
+            self.events.append(event)
+        self.dropped += other.dropped
+        for key, value in other.meta.items():
+            if key == "ticks":
+                self.meta[key] = max(
+                    self.meta.get(key, 0), tick_offset + value
+                )
+            elif key in ("num_machines", "num_stages"):
+                self.meta[key] = max(self.meta.get(key, 0), value)
+            else:
+                self.meta.setdefault(key, value)
+        return self

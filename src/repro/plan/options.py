@@ -36,3 +36,6 @@ class PlannerOptions:
     use_common_neighbors: bool = False
     #: Explicit vertex matching order; overrides *scheduling* when set.
     vertex_order: list = None
+    #: Record a structured event trace for this query (see ``repro.obs``);
+    #: the trace is returned as ``QueryResult.trace``.
+    trace: bool = False

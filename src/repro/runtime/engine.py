@@ -9,6 +9,7 @@ completion, and finalize the merged results.
 from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.simulator import Simulator
+from repro.engine_api import Engine
 from repro.errors import ClusterConfigError
 from repro.graph.distributed import DistributedGraph
 from repro.pgql import parse_and_validate
@@ -24,7 +25,8 @@ from repro.runtime.results import ResultSet
 class QueryResult:
     """The outcome of one query execution."""
 
-    def __init__(self, result_set, metrics, plan, stage_profile=None):
+    def __init__(self, result_set, metrics, plan, stage_profile=None,
+                 trace=None):
         self.result_set = result_set
         self.metrics = metrics
         self.plan = plan
@@ -34,26 +36,59 @@ class QueryResult:
         #: shipped to the stage over the network).  None for results that
         #: did not run on the distributed runtime (e.g. baselines).
         self.stage_profile = stage_profile
+        #: The :class:`repro.obs.Tracer` that recorded this execution, or
+        #: None when tracing was off (the default).
+        self.trace = trace
 
     def explain_analyze(self):
-        """Stage plan annotated with runtime counters, as text."""
+        """Stage plan annotated with runtime counters, as text.
+
+        With tracing enabled the report folds in the event stream:
+        time to first result, distinct ticks each stage spent refused by
+        flow control, quota-borrowing traffic, and the tick each stage
+        became globally complete.
+        """
         if self.plan is None or self.stage_profile is None:
             return "no stage profile available"
+        profile = self.trace.profile() if self.trace is not None else None
         lines = []
-        for stage, profile in zip(self.plan.stages, self.stage_profile):
-            lines.append(
+        if profile is not None:
+            ticks = profile.meta.get("ticks")
+            if ticks is not None:
+                lines.append("total: %d ticks" % ticks)
+            if profile.first_result_tick is not None:
+                lines.append(
+                    "time to first result: tick %d"
+                    % profile.first_result_tick
+                )
+        for stage, counters in zip(self.plan.stages, self.stage_profile):
+            line = (
                 "Stage %d (%s, %s)  visits=%d  passes=%d  remote_in=%d  "
                 "hop=%s"
                 % (
                     stage.index,
                     stage.var,
                     stage.kind.value,
-                    profile["visits"],
-                    profile["passes"],
-                    profile["remote_in"],
+                    counters["visits"],
+                    counters["passes"],
+                    counters["remote_in"],
                     stage.hop.kind.value,
                 )
             )
+            if profile is not None:
+                stats = profile.stage_stats(stage.index)
+                completed = stats["completed_at"]
+                line += (
+                    "  blocked_ticks=%d  quota_req=%d  quota_granted=%d  "
+                    "completed_at=%s"
+                    % (
+                        stats["blocked_ticks"],
+                        stats["quota_requests"],
+                        stats["quota_granted"],
+                        "-" if completed is None else completed,
+                    )
+                )
+            lines.append(line)
         return "\n".join(lines)
 
     @property
@@ -74,7 +109,7 @@ class QueryResult:
         )
 
 
-class PgxdAsyncEngine:
+class PgxdAsyncEngine(Engine):
     """A distributed pattern-matching engine over a simulated cluster.
 
     Typical use::
@@ -113,11 +148,26 @@ class PgxdAsyncEngine:
         if has_quantified_paths(query):
             return execute_union(query, options, self.query)
         plan = self.plan(query, options)
-        return self.execute_plan(plan)
+        return self.execute_plan(plan, tracer=self._make_tracer(options))
 
-    def execute_plan(self, plan):
+    def _make_tracer(self, options):
+        """A fresh tracer when enabled per query or per cluster, else None."""
+        if (options is not None and options.trace) or self.config.trace:
+            from repro.obs import Tracer
+
+            return Tracer(max_events=self.config.trace_max_events)
+        return None
+
+    def execute_plan(self, plan, tracer=None):
         """Step iv: run a compiled plan on the simulated cluster."""
-        simulator = Simulator(self.config)
+        if tracer is not None:
+            tracer.meta.update(
+                num_machines=self.config.num_machines,
+                num_stages=plan.num_stages,
+                workers_per_machine=self.config.workers_per_machine,
+                ops_per_tick=self.config.ops_per_tick,
+            )
+        simulator = Simulator(self.config, tracer=tracer)
         machines = [
             QueryMachine(
                 plan,
@@ -126,6 +176,7 @@ class PgxdAsyncEngine:
                 simulator.api_for(machine_id),
                 self.config,
                 debug_checks=self.debug_checks,
+                tracer=tracer,
             )
             for machine_id in range(self.config.num_machines)
         ]
@@ -156,7 +207,7 @@ class PgxdAsyncEngine:
                 plan.query.edge_vars(),
             )
         return QueryResult(result_set, metrics, plan,
-                           stage_profile=stage_profile)
+                           stage_profile=stage_profile, trace=tracer)
 
 
 def execute_union(query, options, run_one):
@@ -176,6 +227,8 @@ def execute_union(query, options, run_one):
     columns = None
     combined = QueryMetrics()
     plan = None
+    profiles = []  # (plan, stage_profile) of expansions that computed one
+    merged_trace = None
     for expansion in expansions:
         stripped = Query(
             list(expansion.select_items)
@@ -188,7 +241,32 @@ def execute_union(query, options, run_one):
             columns = result.columns[:visible]
             plan = result.plan
         all_rows.extend(result.rows)
-        _merge_metrics(combined, result.metrics)
+        if result.stage_profile is not None:
+            profiles.append((result.plan, result.stage_profile))
+        if result.trace is not None:
+            # Expansions run back to back: lay their traces out end to
+            # end by offsetting each by the ticks accumulated so far.
+            if merged_trace is None:
+                from repro.obs import Tracer
+
+                merged_trace = Tracer(max_events=result.trace.max_events)
+            merged_trace.extend(result.trace, tick_offset=combined.ticks)
+        combined.merge(result.metrics)
+
+    stage_profile = None
+    if profiles:
+        # Expansions have different lengths; fold their per-stage counters
+        # by stage position and report against the longest expansion's
+        # plan so EXPLAIN ANALYZE covers every aggregated stage.
+        plan = max(profiles, key=lambda pair: len(pair[1]))[0]
+        stage_profile = [{} for _ in range(max(
+            len(part) for _plan, part in profiles
+        ))]
+        for _plan, part in profiles:
+            for index, entry in enumerate(part):
+                slot = stage_profile[index]
+                for key, value in entry.items():
+                    slot[key] = slot.get(key, 0) + value
 
     decorated = [(row[visible:], row[:visible]) for row in all_rows]
     if query.distinct:
@@ -205,30 +283,8 @@ def execute_union(query, options, run_one):
     rows = [row for _key, row in decorated]
     if query.limit is not None:
         rows = rows[: query.limit]
-    return QueryResult(ResultSet(columns, rows), combined, plan)
-
-
-def _merge_metrics(total, part):
-    """Accumulate *part* into *total* (expansions run back to back)."""
-    total.ticks += part.ticks
-    total.num_machines = max(total.num_machines, part.num_machines)
-    total.total_ops += part.total_ops
-    total.total_idle_ticks += part.total_idle_ticks
-    total.work_messages += part.work_messages
-    total.contexts_shipped += part.contexts_shipped
-    total.control_messages += part.control_messages
-    total.num_results += part.num_results
-    total.flow_control_blocks += part.flow_control_blocks
-    total.quota_requests += part.quota_requests
-    total.quota_granted += part.quota_granted
-    total.ghost_prunes += part.ghost_prunes
-    total.wall_time_seconds += part.wall_time_seconds
-    total.peak_buffered_contexts = max(
-        total.peak_buffered_contexts, part.peak_buffered_contexts
-    )
-    total.peak_live_frames = max(
-        total.peak_live_frames, part.peak_live_frames
-    )
+    return QueryResult(ResultSet(columns, rows), combined, plan,
+                       stage_profile=stage_profile, trace=merged_trace)
 
 
 def run_query(graph, query, config=None, options=None, debug_checks=False):

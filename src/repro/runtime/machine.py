@@ -17,6 +17,14 @@ from collections import deque
 from repro.cluster.metrics import MachineMetrics
 from repro.cluster.tasks import CallbackTask, TaskQueue
 from repro.errors import RuntimeFault
+from repro.obs.events import (
+    FlowBlock,
+    GhostPrune,
+    QuotaGranted,
+    QuotaRequested,
+    ResultEmitted,
+    StageCompleted,
+)
 from repro.runtime.flow_control import FlowControl
 from repro.runtime.hops import CNItem
 from repro.runtime.messages import (
@@ -39,7 +47,7 @@ class QueryMachine:
     """One simulated machine executing its share of a query."""
 
     def __init__(self, plan, dist_graph, machine_id, api, config,
-                 debug_checks=False):
+                 debug_checks=False, tracer=None):
         self.plan = plan
         self.graph = plan.graph
         self.local = dist_graph.local(machine_id)
@@ -48,6 +56,10 @@ class QueryMachine:
         self.config = config
         self.debug_checks = debug_checks
         self.metrics = MachineMetrics()
+        #: Optional repro.obs.Tracer shared by every machine of the run;
+        #: None (the default) keeps all instrumentation sites to a single
+        #: pointer comparison.
+        self.trace = tracer
 
         num_stages = plan.num_stages
         num_machines = config.num_machines
@@ -198,6 +210,11 @@ class QueryMachine:
         elif isinstance(payload, QuotaGrant):
             self.flow.on_quota_grant(payload.stage, payload.dest,
                                      payload.amount)
+            if self.trace is not None:
+                self.trace.emit(QuotaGranted(
+                    self.api.now, self.machine_id, payload.stage,
+                    payload.dest, payload.amount,
+                ))
         else:
             raise RuntimeFault("unknown payload: %r" % (payload,))
 
@@ -246,6 +263,8 @@ class QueryMachine:
     def emit_result(self, ctx):
         self.collector.add(ctx)
         self.metrics.results_emitted += 1
+        if self.trace is not None:
+            self.trace.emit(ResultEmitted(self.api.now, self.machine_id))
 
     def send_ack(self, message):
         """Ack *message* to its sender (receiver finished processing it).
@@ -286,6 +305,10 @@ class QueryMachine:
         if vertex_admissible(self, stage, ctx, target):
             return True
         self.metrics.ghost_prunes += 1
+        if self.trace is not None:
+            self.trace.emit(GhostPrune(
+                self.api.now, self.machine_id, stage_index
+            ))
         return False
 
     def route(self, comp, stage_index, dest, item):
@@ -315,6 +338,10 @@ class QueryMachine:
             return True
         self.last_refused = (stage_index, dest)
         self.metrics.flow_control_blocks += 1
+        if self.trace is not None:
+            self.trace.emit(FlowBlock(
+                self.api.now, self.machine_id, stage_index, dest
+            ))
         return False
 
     def _route_blocking(self, stage_index, dest, item):
@@ -322,6 +349,10 @@ class QueryMachine:
         if not self.flow.can_send(stage_index, dest):
             self.last_refused = (stage_index, dest)
             self.metrics.flow_control_blocks += 1
+            if self.trace is not None:
+                self.trace.emit(FlowBlock(
+                    self.api.now, self.machine_id, stage_index, dest
+                ))
             return False
         message = WorkMessage(stage_index, (item,))
         self.flow.on_send(stage_index, dest)
@@ -411,6 +442,10 @@ class QueryMachine:
         self.api.send(peer, QuotaRequest(stage, dest))
         self.metrics.control_messages_sent += 1
         self.metrics.quota_requests += 1
+        if self.trace is not None:
+            self.trace.emit(QuotaRequested(
+                self.api.now, self.machine_id, stage, dest, peer
+            ))
 
     # ------------------------------------------------------------------
     # Termination protocol
@@ -439,6 +474,10 @@ class QueryMachine:
             ):
                 break
             self.termination.mark_sent(stage)
+            if self.trace is not None:
+                self.trace.emit(StageCompleted(
+                    self.api.now, self.machine_id, stage
+                ))
             for machine in range(self.num_machines):
                 if machine != self.machine_id:
                     self.api.send(machine, Completed(stage))

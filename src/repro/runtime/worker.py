@@ -12,6 +12,7 @@ net future work) drains first, relieving memory pressure.
 import enum
 
 from repro.errors import RuntimeFault
+from repro.obs.events import FlowUnblock, WorkerSpan
 from repro.runtime.hops import Advance, AllScanItem, CNItem, make_cursor
 
 
@@ -247,20 +248,28 @@ class Worker:
         while used < effective:
             if rt.sync_wait_flagged():
                 break  # blocking mode: stop right after a remote send
-            progressed = self._dowork_once(effective - used)
+            progressed = self._dowork_once(effective - used, paid + used)
             if progressed == 0:
                 break
             used += progressed
         if used == 0:
             used += rt.idle_progress()
+            if used and rt.trace is not None:
+                rt.trace.emit(WorkerSpan(
+                    rt.api.now, rt.machine_id, self.index, -1, used, paid
+                ))
         rt.metrics.ops += used
         if used > effective:
             self.debt = used - effective
             return budget
         return paid + used
 
-    def _dowork_once(self, budget):
-        """One DOWORK scan: prefer the latest stage with runnable work."""
+    def _dowork_once(self, budget, trace_offset=0):
+        """One DOWORK scan: prefer the latest stage with runnable work.
+
+        *trace_offset* — micro-ops this worker already consumed earlier
+        in the current tick; only used to place trace spans sub-tick.
+        """
         rt = self.rt
         for stage_index in range(rt.plan.num_stages - 1, -1, -1):
             comp = self.slots[stage_index]
@@ -275,6 +284,10 @@ class Worker:
                     rt.maybe_request_quota(stage, dest)
                     continue  # still blocked; try earlier stages
                 comp.blocked_on = None
+                if rt.trace is not None:
+                    rt.trace.emit(FlowUnblock(
+                        rt.api.now, rt.machine_id, stage, dest
+                    ))
 
             ops, status = run_computation(rt, comp, budget)
             if status is RunStatus.DONE:
@@ -282,6 +295,11 @@ class Worker:
             elif status is RunStatus.BLOCKED:
                 comp.blocked_on = rt.last_refused
             if ops:
+                if rt.trace is not None:
+                    rt.trace.emit(WorkerSpan(
+                        rt.api.now, rt.machine_id, self.index,
+                        stage_index, ops, trace_offset,
+                    ))
                 return ops
         return 0
 

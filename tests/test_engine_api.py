@@ -1,0 +1,92 @@
+"""Conformance tests for the unified Engine protocol (repro.engine_api)."""
+
+import pytest
+
+import repro
+from repro import (
+    BftEngine,
+    ClusterConfig,
+    Engine,
+    JoinEngine,
+    PgxdAsyncEngine,
+    SharedMemoryEngine,
+    available_engines,
+)
+from repro.runtime.engine import QueryResult
+
+ALL_ENGINES = [PgxdAsyncEngine, SharedMemoryEngine, BftEngine, JoinEngine]
+
+QUERY = "SELECT a, b WHERE (a)-[]->(b), a.value > b.value"
+
+
+def _make(cls, graph):
+    if cls in (PgxdAsyncEngine, BftEngine):
+        return cls(graph, ClusterConfig(num_machines=2))
+    return cls(graph)
+
+
+class TestEngineProtocol:
+    def test_engine_is_abstract(self):
+        with pytest.raises(TypeError):
+            Engine()
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_subclass_of_engine(self, cls):
+        assert issubclass(cls, Engine)
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_uniform_constructor(self, cls, random_graph):
+        engine = _make(cls, random_graph)
+        assert engine.graph is random_graph
+        assert isinstance(engine, Engine)
+        assert cls.__name__ in repr(engine)
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_config_kwarg_accepted(self, cls, random_graph):
+        # Every engine takes config as the second (optional) argument.
+        engine = cls(random_graph, config=ClusterConfig(num_machines=2))
+        assert engine.config.num_machines == 2
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_query_returns_populated_result(self, cls, random_graph):
+        result = _make(cls, random_graph).query(QUERY)
+        assert isinstance(result, QueryResult)
+        assert result.metrics.num_results == len(result.rows)
+        assert result.metrics.total_ops > 0
+        assert result.metrics.ticks > 0
+        assert result.result_set.columns
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_all_engines_agree(self, cls, random_graph):
+        expected = sorted(_make(SharedMemoryEngine, random_graph)
+                          .query(QUERY).rows)
+        assert sorted(_make(cls, random_graph).query(QUERY).rows) == expected
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_quantified_paths_supported_everywhere(self, cls, random_graph):
+        query = "SELECT DISTINCT a, b WHERE (a)-/{1,2}/->(b)"
+        expected = sorted(_make(SharedMemoryEngine, random_graph)
+                          .query(query).rows)
+        result = _make(cls, random_graph).query(query)
+        assert sorted(result.rows) == expected
+
+
+class TestRegistry:
+    def test_available_engines_names(self):
+        registry = available_engines()
+        assert set(registry) == {"async", "shared-memory", "bft", "join"}
+        assert registry["async"] is PgxdAsyncEngine
+        assert all(issubclass(cls, Engine) for cls in registry.values())
+
+    def test_registry_engines_runnable(self, random_graph):
+        for cls in available_engines().values():
+            result = _make(cls, random_graph).query(
+                "SELECT a WHERE (a)-[]->(b)"
+            )
+            assert result.metrics.num_results == len(result.rows)
+
+    def test_top_level_exports(self):
+        for name in ("Engine", "available_engines", "PgxdAsyncEngine",
+                     "SharedMemoryEngine", "BftEngine", "JoinEngine"):
+            assert hasattr(repro, name)
+            assert name in repro.__all__

@@ -1,0 +1,135 @@
+"""Tests for the union/aggregation seams of quantified-path execution.
+
+Quantified paths run as a union of fixed-length expansions; these tests
+pin down how the per-expansion metrics, stage profiles, and EXPLAIN
+ANALYZE output are stitched back together.
+"""
+
+import pytest
+
+from repro import ClusterConfig, PlannerOptions, QueryMetrics
+from repro.cluster.metrics import MachineMetrics
+from repro.runtime import PgxdAsyncEngine
+
+
+@pytest.fixture
+def engine(random_graph):
+    return PgxdAsyncEngine(random_graph, ClusterConfig(num_machines=3))
+
+
+class TestQueryMetricsMerge:
+    def test_counters_sum_and_peaks_max(self):
+        first = QueryMetrics(ticks=10, num_machines=3, total_ops=100,
+                             work_messages=7, num_results=4,
+                             peak_buffered_contexts=20, peak_live_frames=5,
+                             flow_control_blocks=2)
+        second = QueryMetrics(ticks=6, num_machines=3, total_ops=50,
+                              work_messages=3, num_results=1,
+                              peak_buffered_contexts=9, peak_live_frames=8,
+                              flow_control_blocks=1)
+        merged = first.merge(second)
+        assert merged is first
+        assert merged.ticks == 16
+        assert merged.total_ops == 150
+        assert merged.work_messages == 10
+        assert merged.num_results == 5
+        assert merged.flow_control_blocks == 3
+        assert merged.num_machines == 3
+        assert merged.peak_buffered_contexts == 20
+        assert merged.peak_live_frames == 8
+
+    def test_every_field_participates(self):
+        # A field added to QueryMetrics must merge by default; this
+        # catches a new counter being forgotten (the old _merge_metrics
+        # helper enumerated fields by hand and silently dropped new ones).
+        ones = {
+            spec.name: 1
+            for spec in QueryMetrics.__dataclass_fields__.values()
+            if spec.name not in ("per_machine", "wall_time_seconds")
+        }
+        merged = QueryMetrics(**ones).merge(QueryMetrics(**ones))
+        for name, value in ones.items():
+            expected = 1 if name in QueryMetrics._MERGE_BY_MAX else 2
+            assert getattr(merged, name) == expected, name
+
+    def test_per_machine_merged_positionally(self):
+        first = QueryMetrics(
+            num_machines=2,
+            per_machine=[MachineMetrics(ops=5, peak_live_frames=3),
+                         MachineMetrics(ops=7)],
+        )
+        second = QueryMetrics(
+            num_machines=2,
+            per_machine=[MachineMetrics(ops=1, peak_live_frames=9),
+                         MachineMetrics(ops=2)],
+        )
+        merged = first.merge(second)
+        assert [m.ops for m in merged.per_machine] == [6, 9]
+        assert merged.per_machine[0].peak_live_frames == 9
+
+    def test_per_machine_dropped_on_shape_mismatch(self):
+        first = QueryMetrics(per_machine=[MachineMetrics(ops=5)])
+        second = QueryMetrics(per_machine=[MachineMetrics(), MachineMetrics()])
+        assert first.merge(second).per_machine == []
+
+
+class TestUnionExecution:
+    def test_union_metrics_aggregate_expansions(self, engine, random_graph):
+        union = engine.query("SELECT a, b WHERE (a)-/{1,2}/->(b)")
+        hop1 = engine.query("SELECT a, b WHERE (a)-[]->(b)")
+        # The union ran both expansions back to back: its tick count and
+        # message volume strictly dominate the one-hop run alone.
+        assert union.metrics.ticks > hop1.metrics.ticks
+        assert union.metrics.work_messages >= hop1.metrics.work_messages
+        assert union.metrics.num_machines == 3
+        assert union.metrics.num_results == len(union.rows)
+
+    def test_distinct_order_by_limit_over_expansions(self, engine):
+        full = engine.query("SELECT DISTINCT a, b WHERE (a)-/{1,3}/->(b) "
+                            "ORDER BY a, b")
+        limited = engine.query("SELECT DISTINCT a, b WHERE (a)-/{1,3}/->(b) "
+                               "ORDER BY a, b LIMIT 5")
+        assert len(set(full.rows)) == len(full.rows)
+        assert full.rows == sorted(full.rows)
+        assert limited.rows == full.rows[:5]
+        # DISTINCT/LIMIT apply after the union; the metrics keep the raw
+        # emission count, which dominates the deduplicated row count.
+        assert limited.metrics.num_results >= len(full.rows)
+
+    def test_union_stage_profile_aggregated(self, engine):
+        result = engine.query("SELECT a, b WHERE (a)-/{1,3}/->(b)")
+        profile = result.stage_profile
+        assert profile, "union queries must keep a stage profile"
+        # Reported against the longest expansion's plan.
+        assert len(profile) == result.plan.num_stages
+        assert all(stage["visits"] > 0 for stage in profile)
+        single = engine.query("SELECT a, b WHERE (a)-[]->(b)").stage_profile
+        # Stage 0 aggregates the root visits of all three expansions.
+        assert profile[0]["visits"] == 3 * single[0]["visits"]
+
+
+class TestExplainAnalyze:
+    def test_direct_query(self, engine):
+        result = engine.query("SELECT a, b WHERE (a)-[]->(b), "
+                              "a.value > b.value")
+        text = result.explain_analyze()
+        assert "visits=" in text
+        assert "passes=" in text
+        for stage in range(result.plan.num_stages):
+            assert "Stage %d" % stage in text
+
+    def test_union_query(self, engine):
+        result = engine.query("SELECT a, b WHERE (a)-/{1,3}/->(b)")
+        text = result.explain_analyze()
+        assert "visits=" in text
+        # Every aggregated stage row is printed, including the deepest
+        # stage that only the {3} expansion reaches.
+        assert text.count("visits=") == result.plan.num_stages
+
+    def test_union_query_with_trace(self, engine):
+        result = engine.query(
+            "SELECT a, b WHERE (a)-/{1,2}/->(b)",
+            options=PlannerOptions(trace=True),
+        )
+        text = result.explain_analyze()
+        assert "total: %d ticks" % result.metrics.ticks in text
