@@ -31,6 +31,7 @@ from repro.baselines import (
 from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import QueryMetrics
 from repro.engine_api import Engine, available_engines
+from repro.chaos import ChaosConfig
 from repro.errors import (
     ClusterConfigError,
     FlowControlError,
@@ -39,6 +40,7 @@ from repro.errors import (
     PgqlSyntaxError,
     PgqlValidationError,
     PlanError,
+    QueryAborted,
     RemoteAccessError,
     ReproError,
     RuntimeFault,
@@ -118,6 +120,9 @@ __all__ = [
     "PgqlValidationError",
     "PlanError",
     "RuntimeFault",
+    "QueryAborted",
+    # chaos & reliability
+    "ChaosConfig",
     "FlowControlError",
     "ClusterConfigError",
 ]

@@ -11,6 +11,9 @@ Usage examples::
     python -m repro trace --random 1000x5000 --machines 4 \\
         "SELECT a, b WHERE (a)-[]->(b)" --chrome-out trace.json
 
+    python -m repro chaos --random 1000x5000 --machines 4 --seed 7 \\
+        --profile soak --verify "SELECT a, b WHERE (a)-[]->(b)"
+
     python -m repro analyze --random 1000x5000 pagerank --iterations 20
 
     python -m repro analyze --bsbm 500 wcc
@@ -19,10 +22,16 @@ Usage examples::
 import argparse
 import sys
 
+from repro.chaos import PROFILES, profile
 from repro.cluster.config import ClusterConfig
+from repro.errors import QueryAborted
 from repro.graph import load_edge_list, load_json, uniform_random_graph
 from repro.plan import MatchSemantics, PlannerOptions, SchedulingPolicy
 from repro.runtime import PgxdAsyncEngine
+
+#: Exit code for a query that aborted (deadline, crash) — distinct from
+#: argparse's 2 so scripts can tell "bad usage" from "query cancelled".
+EXIT_ABORTED = 3
 
 
 def build_parser():
@@ -57,6 +66,36 @@ def build_parser():
     trace.add_argument("--max-events", type=int, default=1_000_000,
                        help="cap on recorded trace events")
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run a PGQL query under a fault profile with the "
+             "reliability layer, and report delivered-exactly-once stats",
+    )
+    _add_graph_args(chaos)
+    _add_query_args(chaos)
+    chaos.add_argument("--profile", choices=sorted(PROFILES),
+                       default="soak",
+                       help="named fault mix (default: soak)")
+    chaos.add_argument("--drop", type=float, default=None,
+                       help="override the profile's message drop rate")
+    chaos.add_argument("--dup", type=float, default=None,
+                       help="override the duplication rate")
+    chaos.add_argument("--reorder", type=float, default=None,
+                       help="override the reordering rate")
+    chaos.add_argument("--max-delay", type=int, default=None,
+                       help="max extra ticks for reordered/duplicate copies")
+    chaos.add_argument("--stall", action="append", default=[],
+                       metavar="M@T+D",
+                       help="stall machine M's workers from tick T for D "
+                            "ticks (repeatable)")
+    chaos.add_argument("--crash", metavar="M@T",
+                       help="crash machine M at tick T (the query aborts)")
+    chaos.add_argument("--verify", action="store_true",
+                       help="also run fault-free and require identical "
+                            "results (exit 1 on mismatch)")
+    chaos.add_argument("--limit-print", type=int, default=0,
+                       help="max rows to print (default 0: stats only)")
+
     analyze = subparsers.add_parser("analyze", help="run a BSP algorithm")
     _add_graph_args(analyze)
     analyze.add_argument(
@@ -80,6 +119,10 @@ def _add_query_args(sub):
                      help="enable selectivity-based vertex ordering")
     sub.add_argument("--common-neighbors", action="store_true",
                      help="enable the specialized common-neighbor hop")
+    sub.add_argument("--timeout", type=int, default=None, metavar="TICKS",
+                     help="abort the query after TICKS simulated ticks "
+                          "(exit code %d, partial metrics printed)"
+                          % EXIT_ABORTED)
 
 
 def _add_graph_args(sub):
@@ -119,6 +162,7 @@ def _build_engine(args, trace=False, **config_overrides):
     graph = load_graph(args)
     config = ClusterConfig(num_machines=args.machines,
                            workers_per_machine=args.workers,
+                           seed=args.seed,
                            **config_overrides)
     options = PlannerOptions(
         semantics=MatchSemantics(args.semantics),
@@ -128,6 +172,7 @@ def _build_engine(args, trace=False, **config_overrides):
             else SchedulingPolicy.APPEARANCE
         ),
         use_common_neighbors=args.common_neighbors,
+        timeout_ticks=getattr(args, "timeout", None),
         trace=trace,
     )
     if args.ghost_threshold is not None:
@@ -140,13 +185,29 @@ def _build_engine(args, trace=False, **config_overrides):
     return PgxdAsyncEngine(graph, config), options
 
 
+def _print_abort(aborted):
+    """Report an aborted query: the reason plus whatever partial state
+    the simulator managed to collect before giving up."""
+    print("query aborted:", aborted.reason)
+    if aborted.tick is not None:
+        print("at tick  :", aborted.tick)
+    if aborted.metrics is not None:
+        print("partial  :", aborted.metrics.summary())
+    if aborted.detail:
+        print("detail   :", aborted.detail)
+    return EXIT_ABORTED
+
+
 def cmd_query(args):
     engine, options = _build_engine(args, trace=args.explain_analyze)
     if args.explain:
         plan = engine.plan(args.pgql, options)
         print(plan.describe())
         return 0
-    result = engine.query(args.pgql, options)
+    try:
+        result = engine.query(args.pgql, options)
+    except QueryAborted as aborted:
+        return _print_abort(aborted)
     print(result.result_set.pretty(limit=args.limit_print))
     print()
     print("rows     :", len(result.rows))
@@ -157,11 +218,76 @@ def cmd_query(args):
     return 0
 
 
+def _parse_stall(spec):
+    """Parse a ``M@T+D`` stall spec into a (machine, start, duration)."""
+    try:
+        machine, rest = spec.split("@")
+        start, duration = rest.split("+")
+        return int(machine), int(start), int(duration)
+    except ValueError:
+        raise SystemExit("--stall expects M@T+D, e.g. 1@50+30")
+
+
+def _parse_crash(spec):
+    """Parse a ``M@T`` crash spec into a (machine, tick)."""
+    try:
+        machine, tick = spec.split("@")
+        return int(machine), int(tick)
+    except ValueError:
+        raise SystemExit("--crash expects M@T, e.g. 2@100")
+
+
+def cmd_chaos(args):
+    overrides = {}
+    if args.drop is not None:
+        overrides["drop_rate"] = args.drop
+    if args.dup is not None:
+        overrides["duplicate_rate"] = args.dup
+    if args.reorder is not None:
+        overrides["reorder_rate"] = args.reorder
+    if args.max_delay is not None:
+        overrides["max_delay"] = args.max_delay
+    if args.stall:
+        overrides["stalls"] = tuple(_parse_stall(s) for s in args.stall)
+    if args.crash:
+        overrides["crashes"] = (_parse_crash(args.crash),)
+    chaos_config = profile(args.profile, seed=args.seed, **overrides)
+
+    engine, options = _build_engine(
+        args, chaos=chaos_config, reliability=True
+    )
+    try:
+        result = engine.query(args.pgql, options)
+    except QueryAborted as aborted:
+        return _print_abort(aborted)
+
+    if args.limit_print:
+        print(result.result_set.pretty(limit=args.limit_print))
+        print()
+    print("rows     :", len(result.rows))
+    print("metrics  :", result.metrics.summary())
+    print("chaos    :", result.metrics.reliability_summary())
+
+    if args.verify:
+        clean_engine, clean_options = _build_engine(args)
+        clean = clean_engine.query(args.pgql, clean_options)
+        if sorted(result.rows) == sorted(clean.rows):
+            print("verify   : OK (results identical to fault-free run)")
+        else:
+            print("verify   : MISMATCH (%d rows under chaos, %d fault-free)"
+                  % (len(result.rows), len(clean.rows)))
+            return 1
+    return 0
+
+
 def cmd_trace(args):
     engine, options = _build_engine(
         args, trace=True, trace_max_events=args.max_events
     )
-    result = engine.query(args.pgql, options)
+    try:
+        result = engine.query(args.pgql, options)
+    except QueryAborted as aborted:
+        return _print_abort(aborted)
     trace = result.trace
     print("rows     :", len(result.rows))
     print("metrics  :", result.metrics.summary())
@@ -227,6 +353,8 @@ def main(argv=None):
         return cmd_query(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     return cmd_analyze(args)
 
 

@@ -40,6 +40,34 @@ class ClusterConfig:
     sender_messages_per_tick: int = 8
 
     # ------------------------------------------------------------------
+    # Reproducibility
+    # ------------------------------------------------------------------
+    #: Master seed for everything stochastic that hangs off this
+    #: cluster: chaos fault plans default to it, and the seeded workload
+    #: helpers (``repro.workloads.random_graphs.seeded_workload``)
+    #: derive graphs and query suites from it — one knob replays a run.
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # Chaos & reliability (repro.chaos / runtime.reliability)
+    # ------------------------------------------------------------------
+    #: Fault model applied to this cluster's network and machines — a
+    #: :class:`repro.chaos.ChaosConfig`, or None for the default
+    #: perfectly-reliable interconnect.
+    chaos: object = None
+    #: Run every machine's traffic through the reliable-channel layer
+    #: (sequence numbers, dedup/reorder buffering, ack + retransmit).
+    #: Required whenever ``chaos`` can drop, duplicate, or reorder
+    #: messages — the termination protocol is unsound without it.
+    reliability: bool = False
+    #: Retransmission timeout in ticks (0 = auto: one round trip + slack).
+    retransmit_timeout: int = 0
+    #: Abort any query still running after this many ticks with a
+    #: structured ``QueryAborted`` carrying partial metrics (None = no
+    #: deadline).  Per-query override: ``PlannerOptions.timeout_ticks``.
+    query_deadline_ticks: int = None
+
+    # ------------------------------------------------------------------
     # Flow control (paper §3.3)
     # ------------------------------------------------------------------
     #: Contexts per bulk message (the message manager packs this many
@@ -97,6 +125,18 @@ class ClusterConfig:
             raise ClusterConfigError("bulk_message_size must be >= 1")
         if self.flow_control_window < 1:
             raise ClusterConfigError("flow_control_window must be >= 1")
+        if self.retransmit_timeout < 0:
+            raise ClusterConfigError("retransmit_timeout must be >= 0")
+        if self.query_deadline_ticks is not None \
+                and self.query_deadline_ticks < 1:
+            raise ClusterConfigError("query_deadline_ticks must be >= 1")
+        if self.chaos is not None and self.chaos.has_message_faults \
+                and not self.reliability:
+            raise ClusterConfigError(
+                "chaos with message faults (drop/duplicate/reorder) "
+                "requires reliability=True: the termination protocol "
+                "assumes ordered reliable delivery"
+            )
         return self
 
     def replace(self, **changes):

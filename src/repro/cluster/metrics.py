@@ -25,6 +25,11 @@ class MachineMetrics:
     quota_granted: int = 0
     ghost_prunes: int = 0
 
+    # Reliability layer (runtime.reliability; zero when disabled).
+    retransmits: int = 0
+    dup_frames_dropped: int = 0
+    reordered_frames: int = 0
+
     # Gauges and their high-water marks.
     cur_buffered_contexts: int = 0
     peak_buffered_contexts: int = 0
@@ -79,6 +84,14 @@ class QueryMetrics:
     quota_requests: int = 0
     quota_granted: int = 0
     ghost_prunes: int = 0
+    # Reliability layer (summed across machines; zero when disabled).
+    retransmits: int = 0
+    dup_frames_dropped: int = 0
+    reordered_frames: int = 0
+    # Chaos fault injections, copied from the network by the simulator.
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
     wall_time_seconds: float = 0.0
     per_machine: list = field(default_factory=list)
 
@@ -98,6 +111,9 @@ class QueryMetrics:
             metrics.quota_requests += machine.quota_requests
             metrics.quota_granted += machine.quota_granted
             metrics.ghost_prunes += machine.ghost_prunes
+            metrics.retransmits += machine.retransmits
+            metrics.dup_frames_dropped += machine.dup_frames_dropped
+            metrics.reordered_frames += machine.reordered_frames
             metrics.peak_buffered_contexts = max(
                 metrics.peak_buffered_contexts, machine.peak_buffered_contexts
             )
@@ -140,6 +156,21 @@ class QueryMetrics:
         else:
             self.per_machine = []
         return self
+
+    def reliability_summary(self):
+        """One-line chaos/reliability summary (all zero on clean runs)."""
+        return (
+            "faults: dropped=%d duplicated=%d delayed=%d | recovery: "
+            "retransmits=%d dup_frames_dropped=%d reordered=%d"
+            % (
+                self.messages_dropped,
+                self.messages_duplicated,
+                self.messages_delayed,
+                self.retransmits,
+                self.dup_frames_dropped,
+                self.reordered_frames,
+            )
+        )
 
     def summary(self):
         """One-line human summary, used by examples and benchmarks."""

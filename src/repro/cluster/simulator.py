@@ -9,13 +9,27 @@ when every machine reports completion and no messages are in flight.
 Machines talk to the outside world exclusively through the
 :class:`MachineAPI` handle they are given, which tags network traffic
 with the current tick — machines never see the simulator itself.
+
+Two optional subsystems hook in here:
+
+* **chaos** (``repro.chaos``): when the config carries a ``ChaosConfig``
+  the network is replaced by a fault-injecting :class:`~repro.chaos.
+  ChaosNetwork` and a :class:`~repro.chaos.ChaosController` applies
+  scripted machine stalls and crashes each tick;
+* **timers**: machines exposing ``uses_tick_hook`` get an ``on_tick``
+  call every tick (the reliability layer's retransmission timers), and
+  their ``next_timer_tick`` participates in idle fast-forwarding.
+
+A hard machine crash or an exceeded query deadline raises a structured
+:class:`~repro.errors.QueryAborted` carrying partial metrics and the
+trace — the simulator never hangs on an unrecoverable fault.
 """
 
 import time
 
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.network import Network
-from repro.errors import RuntimeFault
+from repro.errors import QueryAborted, RuntimeFault
 
 
 class MachineInterface:
@@ -65,7 +79,8 @@ class MachineAPI:
 
             simulator.tracer.emit(MessageSend(
                 simulator.now, self.machine_id, dst,
-                type(payload).__name__, getattr(payload, "stage", None),
+                getattr(payload, "trace_name", type(payload).__name__),
+                getattr(payload, "stage", None),
                 size, deliver_at,
             ))
 
@@ -75,15 +90,34 @@ class Simulator:
 
     def __init__(self, config, tracer=None):
         self._config = config
-        self.network = Network(
-            latency=config.network_latency,
-            bandwidth=config.network_bandwidth,
-            sender_rate=config.sender_messages_per_tick,
-        )
+        chaos_config = config.chaos
+        if chaos_config is not None:
+            from repro.chaos import ChaosController, ChaosNetwork, FaultPlan
+
+            plan = FaultPlan(chaos_config, default_seed=config.seed)
+            self.network = ChaosNetwork(
+                latency=config.network_latency,
+                bandwidth=config.network_bandwidth,
+                sender_rate=config.sender_messages_per_tick,
+                plan=plan,
+                tracer=tracer,
+            )
+            self.chaos = ChaosController(
+                plan, config.num_machines, tracer=tracer
+            )
+        else:
+            self.network = Network(
+                latency=config.network_latency,
+                bandwidth=config.network_bandwidth,
+                sender_rate=config.sender_messages_per_tick,
+            )
+            self.chaos = None
         self.now = 0
         self._machines = []
         #: Optional repro.obs.Tracer; None keeps every hot path untraced.
         self.tracer = tracer
+        #: Abort the run at this tick; the engine may override per query.
+        self.deadline = config.query_deadline_ticks
 
     @property
     def num_machines(self):
@@ -106,8 +140,54 @@ class Simulator:
             )
         self._machines = list(machines)
 
+    # ------------------------------------------------------------------
+    # Abort path (crash / deadline): structured, never a hang
+    # ------------------------------------------------------------------
+    def _partial_metrics(self):
+        metrics = QueryMetrics.collect(
+            self.now, [machine.metrics for machine in self._machines]
+        )
+        self._attach_fault_counters(metrics)
+        return metrics
+
+    def _attach_fault_counters(self, metrics):
+        network = self.network
+        metrics.messages_dropped = network.messages_dropped
+        metrics.messages_duplicated = network.messages_duplicated
+        metrics.messages_delayed = network.messages_delayed
+
+    def _abort(self, reason):
+        if self.tracer is not None:
+            from repro.obs.events import QueryAbortedEvent
+
+            self.tracer.emit(QueryAbortedEvent(self.now, reason))
+            self.tracer.meta["ticks"] = self.now
+            self.tracer.meta["aborted"] = reason
+        details = []
+        tracker = getattr(self._machines[0], "termination", None)
+        if tracker is not None:
+            details.append(tracker.progress_summary())
+        unacked = sum(
+            machine.api.unacked_frames()
+            for machine in self._machines
+            if hasattr(getattr(machine, "api", None), "unacked_frames")
+        )
+        if unacked:
+            details.append("%d unacked frames" % unacked)
+        raise QueryAborted(
+            reason,
+            tick=self.now,
+            metrics=self._partial_metrics(),
+            trace=self.tracer,
+            detail="; ".join(details) or None,
+        )
+
     def run(self):
-        """Run to completion; returns a :class:`QueryMetrics`."""
+        """Run to completion; returns a :class:`QueryMetrics`.
+
+        Raises :class:`~repro.errors.QueryAborted` when a chaos-scripted
+        machine crash fires or the query deadline passes.
+        """
         config = self._config
         machines = self._machines
         if not machines:
@@ -116,22 +196,42 @@ class Simulator:
         workers = config.workers_per_machine
         budget = config.ops_per_tick
         tracer = self.tracer
+        chaos = self.chaos
+        deadline = self.deadline
+        timer_machines = [
+            (index, machine)
+            for index, machine in enumerate(machines)
+            if getattr(machine, "uses_tick_hook", False)
+        ]
         if tracer is not None:
             from repro.obs.events import MessageDeliver, TickSample
 
             last_ops = [machine.metrics.ops for machine in machines]
         while True:
+            if deadline is not None and self.now >= deadline:
+                self._abort("deadline of %d ticks exceeded" % deadline)
+            if chaos is not None:
+                crashed = chaos.begin_tick(self.now)
+                if crashed is not None:
+                    self._abort("machine %d crashed" % crashed)
+            for index, machine in timer_machines:
+                if chaos is None or not chaos.is_stalled(index, self.now):
+                    machine.on_tick(self.now)
+
             for envelope in self.network.deliver_due(self.now):
                 if tracer is not None:
                     tracer.emit(MessageDeliver(
                         self.now, envelope.src, envelope.dst,
-                        type(envelope.payload).__name__,
+                        getattr(envelope.payload, "trace_name",
+                                type(envelope.payload).__name__),
                         getattr(envelope.payload, "stage", None),
                     ))
                 machines[envelope.dst].on_message(envelope.src, envelope.payload)
 
             all_idle = True
-            for machine in machines:
+            for index, machine in enumerate(machines):
+                if chaos is not None and chaos.is_stalled(index, self.now):
+                    continue  # compute frozen; the NIC above still ran
                 for worker_index in range(workers):
                     used = machine.worker_step(worker_index, budget)
                     if used:
@@ -154,11 +254,27 @@ class Simulator:
             if all(machine.is_finished() for machine in machines):
                 if len(self.network) == 0:
                     break
-            if all_idle and len(self.network):
-                # Nothing to do until the next delivery: fast-forward.
-                self.now = self.network.next_delivery_tick()
-                continue
-            if all_idle and len(self.network) == 0:
+            if all_idle:
+                # Nothing to do right now: fast-forward to the next
+                # event — a delivery, a retransmission timer, a scripted
+                # chaos transition, or the deadline itself.
+                candidates = []
+                next_delivery = self.network.next_delivery_tick()
+                if next_delivery is not None:
+                    candidates.append(next_delivery)
+                for _index, machine in timer_machines:
+                    timer = machine.next_timer_tick()
+                    if timer is not None:
+                        candidates.append(timer)
+                if chaos is not None:
+                    event = chaos.next_event_tick(self.now)
+                    if event is not None:
+                        candidates.append(event)
+                if deadline is not None:
+                    candidates.append(deadline)
+                if candidates:
+                    self.now = max(self.now + 1, min(candidates))
+                    continue
                 if all(machine.is_finished() for machine in machines):
                     break
                 raise RuntimeFault(
@@ -172,8 +288,10 @@ class Simulator:
         wall = time.perf_counter() - started
         if tracer is not None:
             tracer.meta["ticks"] = self.now
-        return QueryMetrics.collect(
+        metrics = QueryMetrics.collect(
             self.now,
             [machine.metrics for machine in machines],
             wall_time_seconds=wall,
         )
+        self._attach_fault_counters(metrics)
+        return metrics

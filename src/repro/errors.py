@@ -70,6 +70,37 @@ class RuntimeFault(ReproError):
     """The distributed runtime reached an inconsistent state."""
 
 
+class QueryAborted(ReproError):
+    """A query was cancelled before completion instead of hanging.
+
+    Raised for unrecoverable faults (a crashed machine) and exceeded
+    query deadlines.  Carries everything the runtime knew at abort time:
+
+    * ``reason`` — human-readable cause;
+    * ``tick`` — the simulated tick the abort happened on;
+    * ``metrics`` — partial :class:`~repro.cluster.metrics.QueryMetrics`
+      collected from the machines at abort time (may be ``None``);
+    * ``trace`` — the :class:`~repro.obs.Tracer` recording the run, when
+      tracing was enabled;
+    * ``detail`` — optional termination/flow-control progress snapshot.
+    """
+
+    def __init__(self, reason, tick=None, metrics=None, trace=None,
+                 detail=None):
+        self.reason = reason
+        self.tick = tick
+        self.metrics = metrics
+        self.trace = trace
+        self.detail = detail
+        message = "query aborted"
+        if tick is not None:
+            message += " at tick %d" % tick
+        message += ": %s" % reason
+        if detail:
+            message += " (%s)" % detail
+        super().__init__(message)
+
+
 class FlowControlError(RuntimeFault):
     """Flow-control invariants were violated (negative counter, ...)."""
 

@@ -19,14 +19,24 @@ check — see ``benchmarks/test_txt2_trace_overhead.py``.
 
 from repro.obs.events import (
     EVENT_KINDS,
+    DuplicateFrameDropped,
     FlowBlock,
     FlowUnblock,
+    FrameBuffered,
     GhostPrune,
+    MachineCrashed,
+    MachineResumed,
+    MachineStalled,
+    MessageDelayed,
     MessageDeliver,
+    MessageDropped,
+    MessageDuplicated,
     MessageSend,
+    QueryAbortedEvent,
     QuotaGranted,
     QuotaRequested,
     ResultEmitted,
+    Retransmit,
     StageCompleted,
     TickSample,
     TraceEvent,
@@ -52,6 +62,16 @@ __all__ = [
     "StageCompleted",
     "GhostPrune",
     "ResultEmitted",
+    "MessageDropped",
+    "MessageDuplicated",
+    "MessageDelayed",
+    "MachineStalled",
+    "MachineResumed",
+    "MachineCrashed",
+    "Retransmit",
+    "DuplicateFrameDropped",
+    "FrameBuffered",
+    "QueryAbortedEvent",
     "chrome_trace",
     "render_timeline",
 ]

@@ -196,6 +196,136 @@ class ResultEmitted(TraceEvent):
         self.machine = machine
 
 
+# ----------------------------------------------------------------------
+# Chaos & reliability events (repro.chaos / repro.runtime.reliability)
+# ----------------------------------------------------------------------
+class MessageDropped(TraceEvent):
+    """Chaos: the network silently lost a message."""
+
+    __slots__ = ("src", "dst", "payload")
+    kind = "chaos_drop"
+
+    def __init__(self, tick, src, dst, payload):
+        super().__init__(tick)
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+
+
+class MessageDuplicated(TraceEvent):
+    """Chaos: the network delivered a spurious second copy."""
+
+    __slots__ = ("src", "dst", "payload", "delay")
+    kind = "chaos_duplicate"
+
+    def __init__(self, tick, src, dst, payload, delay):
+        super().__init__(tick)
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.delay = delay
+
+
+class MessageDelayed(TraceEvent):
+    """Chaos: a message was delayed past the FIFO order (reordering)."""
+
+    __slots__ = ("src", "dst", "payload", "delay")
+    kind = "chaos_delay"
+
+    def __init__(self, tick, src, dst, payload, delay):
+        super().__init__(tick)
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.delay = delay
+
+
+class MachineStalled(TraceEvent):
+    """Chaos: *machine*'s workers freeze until tick *until*."""
+
+    __slots__ = ("machine", "until")
+    kind = "chaos_stall"
+
+    def __init__(self, tick, machine, until):
+        super().__init__(tick)
+        self.machine = machine
+        self.until = until
+
+
+class MachineResumed(TraceEvent):
+    """Chaos: a stalled machine's workers run again."""
+
+    __slots__ = ("machine",)
+    kind = "chaos_resume"
+
+    def __init__(self, tick, machine):
+        super().__init__(tick)
+        self.machine = machine
+
+
+class MachineCrashed(TraceEvent):
+    """Chaos: *machine* crashed hard — the query will abort."""
+
+    __slots__ = ("machine",)
+    kind = "chaos_crash"
+
+    def __init__(self, tick, machine):
+        super().__init__(tick)
+        self.machine = machine
+
+
+class Retransmit(TraceEvent):
+    """Reliability: an unacknowledged frame was sent again."""
+
+    __slots__ = ("machine", "dst", "seq", "attempt")
+    kind = "retransmit"
+
+    def __init__(self, tick, machine, dst, seq, attempt):
+        super().__init__(tick)
+        self.machine = machine
+        self.dst = dst
+        self.seq = seq
+        self.attempt = attempt
+
+
+class DuplicateFrameDropped(TraceEvent):
+    """Reliability: the receiver discarded an already-seen frame."""
+
+    __slots__ = ("machine", "src", "seq")
+    kind = "dup_frame_dropped"
+
+    def __init__(self, tick, machine, src, seq):
+        super().__init__(tick)
+        self.machine = machine
+        self.src = src
+        self.seq = seq
+
+
+class FrameBuffered(TraceEvent):
+    """Reliability: an out-of-order frame was parked for reordering."""
+
+    __slots__ = ("machine", "src", "seq", "expected")
+    kind = "frame_buffered"
+
+    def __init__(self, tick, machine, src, seq, expected):
+        super().__init__(tick)
+        self.machine = machine
+        self.src = src
+        self.seq = seq
+        self.expected = expected
+
+
+class QueryAbortedEvent(TraceEvent):
+    """The run was cancelled (crash, deadline) at this tick."""
+
+    __slots__ = ("reason",)
+    kind = "aborted"
+
+    def __init__(self, tick, reason):
+        super().__init__(tick)
+        self.reason = reason
+
+
 #: Every concrete event kind, for documentation and validation.
 EVENT_KINDS = tuple(
     cls.kind
@@ -211,5 +341,15 @@ EVENT_KINDS = tuple(
         StageCompleted,
         GhostPrune,
         ResultEmitted,
+        MessageDropped,
+        MessageDuplicated,
+        MessageDelayed,
+        MachineStalled,
+        MachineResumed,
+        MachineCrashed,
+        Retransmit,
+        DuplicateFrameDropped,
+        FrameBuffered,
+        QueryAbortedEvent,
     )
 )

@@ -39,3 +39,8 @@ class PlannerOptions:
     #: Record a structured event trace for this query (see ``repro.obs``);
     #: the trace is returned as ``QueryResult.trace``.
     trace: bool = False
+    #: Per-query deadline in simulated ticks: the run aborts with a
+    #: structured ``QueryAborted`` (partial metrics + trace) once the
+    #: clock passes it.  Overrides ``ClusterConfig.query_deadline_ticks``;
+    #: for union-executed queries each expansion gets the full budget.
+    timeout_ticks: int = None

@@ -10,8 +10,11 @@ from repro.runtime.messages import (
     Completed,
     QuotaGrant,
     QuotaRequest,
+    RelAck,
+    RelFrame,
     WorkMessage,
 )
+from repro.runtime.reliability import ReliableTransport
 from repro.runtime.results import ResultSet
 from repro.runtime.termination import TerminationTracker
 from repro.runtime.worker import (
@@ -35,6 +38,9 @@ __all__ = [
     "Completed",
     "QuotaRequest",
     "QuotaGrant",
+    "RelFrame",
+    "RelAck",
+    "ReliableTransport",
     "AllScanItem",
     "CNItem",
     "Worker",

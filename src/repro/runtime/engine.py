@@ -10,7 +10,7 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.simulator import Simulator
 from repro.engine_api import Engine
-from repro.errors import ClusterConfigError
+from repro.errors import ClusterConfigError, QueryAborted
 from repro.graph.distributed import DistributedGraph
 from repro.pgql import parse_and_validate
 from repro.pgql.ast import Query, SelectItem
@@ -148,7 +148,9 @@ class PgxdAsyncEngine(Engine):
         if has_quantified_paths(query):
             return execute_union(query, options, self.query)
         plan = self.plan(query, options)
-        return self.execute_plan(plan, tracer=self._make_tracer(options))
+        deadline = options.timeout_ticks if options is not None else None
+        return self.execute_plan(plan, tracer=self._make_tracer(options),
+                                 deadline=deadline)
 
     def _make_tracer(self, options):
         """A fresh tracer when enabled per query or per cluster, else None."""
@@ -158,8 +160,13 @@ class PgxdAsyncEngine(Engine):
             return Tracer(max_events=self.config.trace_max_events)
         return None
 
-    def execute_plan(self, plan, tracer=None):
-        """Step iv: run a compiled plan on the simulated cluster."""
+    def execute_plan(self, plan, tracer=None, deadline=None):
+        """Step iv: run a compiled plan on the simulated cluster.
+
+        *deadline* (ticks) overrides ``config.query_deadline_ticks`` for
+        this execution; past it the simulator raises a structured
+        :class:`~repro.errors.QueryAborted` with partial metrics.
+        """
         if tracer is not None:
             tracer.meta.update(
                 num_machines=self.config.num_machines,
@@ -168,6 +175,8 @@ class PgxdAsyncEngine(Engine):
                 ops_per_tick=self.config.ops_per_tick,
             )
         simulator = Simulator(self.config, tracer=tracer)
+        if deadline is not None:
+            simulator.deadline = deadline
         machines = [
             QueryMachine(
                 plan,
@@ -236,7 +245,15 @@ def execute_union(query, options, run_one):
             expansion.paths,
             expansion.constraints,
         )
-        result = run_one(stripped, options)
+        try:
+            result = run_one(stripped, options)
+        except QueryAborted as aborted:
+            # Fold the finished expansions' metrics into the abort so
+            # the caller sees the whole union's partial progress.
+            if aborted.metrics is not None:
+                combined.merge(aborted.metrics)
+            aborted.metrics = combined
+            raise
         if columns is None:
             columns = result.columns[:visible]
             plan = result.plan

@@ -75,6 +75,19 @@ class FlowControl:
     def inflight_total(self):
         return sum(sum(row) for row in self._inflight)
 
+    def occupancy(self):
+        """Nonzero in-flight counts as ``(stage, dest) -> count``.
+
+        Diagnostic snapshot for abort reports and the chaos CLI: which
+        windows were still awaiting acknowledgments when a run stopped.
+        """
+        return {
+            (stage, dest): inflight
+            for stage, row in enumerate(self._inflight)
+            for dest, inflight in enumerate(row)
+            if inflight
+        }
+
     def limit(self, stage, dest):
         return self._limit[stage][dest]
 

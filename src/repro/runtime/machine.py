@@ -52,10 +52,23 @@ class QueryMachine:
         self.graph = plan.graph
         self.local = dist_graph.local(machine_id)
         self.machine_id = machine_id
-        self.api = api
         self.config = config
         self.debug_checks = debug_checks
         self.metrics = MachineMetrics()
+        #: With reliability enabled the raw MachineAPI is wrapped in the
+        #: reliable-channel transport; everything below (message
+        #: manager, flow control, termination) sends through ``self.api``
+        #: either way and sees a FIFO-reliable network.
+        self._reliable = config.reliability
+        if self._reliable:
+            from repro.runtime.reliability import ReliableTransport
+
+            api = ReliableTransport(api, config, self.metrics,
+                                    tracer=tracer)
+        self.api = api
+        #: Simulator hook: reliability retransmission timers need a
+        #: per-tick callback and participate in idle fast-forwarding.
+        self.uses_tick_hook = self._reliable
         #: Optional repro.obs.Tracer shared by every machine of the run;
         #: None (the default) keeps all instrumentation sites to a single
         #: pointer comparison.
@@ -182,6 +195,24 @@ class QueryMachine:
         return used
 
     def on_message(self, src, payload):
+        if self._reliable:
+            # The transport dedups/reorders; only in-order application
+            # payloads (possibly several, when a frame fills a gap)
+            # reach the dispatcher below.
+            for inner_src, inner in self.api.receive(src, payload):
+                self._dispatch(inner_src, inner)
+        else:
+            self._dispatch(src, payload)
+
+    def on_tick(self, now):
+        """Simulator per-tick hook: drive retransmission timers."""
+        self.api.poll(now)
+
+    def next_timer_tick(self):
+        """Earliest pending retransmission, for idle fast-forwarding."""
+        return self.api.next_timer_tick()
+
+    def _dispatch(self, src, payload):
         if isinstance(payload, WorkMessage):
             payload.src = src
             self._inbox[payload.stage].append(payload)

@@ -99,3 +99,54 @@ class QuotaGrant:
         return "QuotaGrant(stage=%d, dest=%d, amount=%d)" % (
             self.stage, self.dest, self.amount,
         )
+
+
+class RelFrame:
+    """Reliability layer: one sequenced frame of a directed channel.
+
+    Wraps an application payload (work or control) with the per-
+    ``(src, dst)`` channel sequence number the receiver uses for dedup
+    and reordering (``runtime.reliability``).  ``stage`` and
+    ``trace_name`` delegate to the inner payload so traces and metrics
+    stay readable through the wrapper.
+    """
+
+    __slots__ = ("seq", "payload", "size")
+
+    def __init__(self, seq, payload, size=0):
+        self.seq = seq
+        self.payload = payload
+        self.size = size
+
+    @property
+    def stage(self):
+        return getattr(self.payload, "stage", None)
+
+    @property
+    def trace_name(self):
+        return "Rel[%s]" % type(self.payload).__name__
+
+    def __repr__(self):
+        return "RelFrame(seq=%d, payload=%r)" % (self.seq, self.payload)
+
+
+class RelAck:
+    """Reliability layer: cumulative + selective acknowledgment.
+
+    ``cumulative`` acknowledges every frame up to and including that
+    sequence number; ``sacked`` lists out-of-order frames already held
+    in the receiver's reorder buffer.  Acks are idempotent and sent
+    unframed, so their own loss or duplication is harmless — the next
+    (re)delivery triggers a fresh one.
+    """
+
+    __slots__ = ("cumulative", "sacked")
+
+    def __init__(self, cumulative, sacked=()):
+        self.cumulative = cumulative
+        self.sacked = tuple(sacked)
+
+    def __repr__(self):
+        return "RelAck(cumulative=%d, sacked=%r)" % (
+            self.cumulative, self.sacked,
+        )

@@ -56,6 +56,15 @@ class TerminationTracker:
             len(done) == self._num_machines for done in self._completed
         )
 
+    def progress_summary(self):
+        """Compact per-stage completion snapshot, e.g. ``"stages
+        complete: 3/3, 1/3, 0/3"`` — attached to ``QueryAborted`` so an
+        aborted run reports how far the termination wavefront got."""
+        return "stages complete: " + ", ".join(
+            "%d/%d" % (len(done), self._num_machines)
+            for done in self._completed
+        )
+
     def newly_completable(self, stage, bootstrap_done, stage_load,
                           outbuf_empty):
         """Can this machine declare *stage* complete right now?

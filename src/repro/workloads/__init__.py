@@ -10,6 +10,7 @@ from repro.workloads.bsbm import (
 from repro.workloads.random_graphs import (
     random_pattern_query,
     random_query_suite,
+    seeded_workload,
     split_heavy_fast,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "query5_parts",
     "random_pattern_query",
     "random_query_suite",
+    "seeded_workload",
     "split_heavy_fast",
 ]

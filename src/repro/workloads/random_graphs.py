@@ -72,6 +72,23 @@ def random_query_suite(num_queries=10, num_edges=4, seed=0, **kwargs):
     ]
 
 
+def seeded_workload(config, num_vertices=1_000, num_edges=5_000,
+                    num_queries=10, query_edges=4, num_types=8):
+    """A ``(graph, queries)`` pair derived entirely from ``config.seed``.
+
+    The single reproducibility knob: the cluster config's master seed
+    drives the random graph, the random query suite, and (via
+    ``FaultPlan``) any chaos fault plan of the same config — so one
+    integer replays a whole experiment, faults included.
+    """
+    seed = getattr(config, "seed", 0)
+    graph = uniform_random_graph(num_vertices, num_edges, seed=seed,
+                                 num_types=num_types)
+    queries = random_query_suite(num_queries, num_edges=query_edges,
+                                 seed=seed, num_types=num_types)
+    return graph, queries
+
+
 def split_heavy_fast(results_by_query, threshold=None):
     """Split query measurements into heavy and fast groups.
 

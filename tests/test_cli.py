@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, load_graph, main
+from repro.cli import EXIT_ABORTED, build_parser, load_graph, main
 
 
 class TestParser:
@@ -26,6 +26,32 @@ class TestParser:
     def test_graph_source_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["query", "SELECT a WHERE (a)"])
+
+    def test_chaos_args(self):
+        args = build_parser().parse_args(
+            ["chaos", "--random", "100x400", "--profile", "drop",
+             "--drop", "0.1", "--stall", "1@5+10", "--verify",
+             "SELECT a WHERE (a)"]
+        )
+        assert args.command == "chaos"
+        assert args.profile == "drop"
+        assert args.drop == 0.1
+        assert args.stall == ["1@5+10"]
+        assert args.verify
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["chaos", "--random", "100x400", "--profile", "tsunami",
+                 "SELECT a WHERE (a)"]
+            )
+
+    def test_timeout_arg(self):
+        args = build_parser().parse_args(
+            ["query", "--random", "100x400", "--timeout", "50",
+             "SELECT a WHERE (a)"]
+        )
+        assert args.timeout == 50
 
 
 class TestLoadGraph:
@@ -114,3 +140,63 @@ class TestEndToEnd:
         assert code == 0
         out = capsys.readouterr().out
         assert "supersteps:" in out
+
+
+class TestChaosCommand:
+    QUERY = "SELECT a, b WHERE (a)-[]->(b), a.value > b.value"
+
+    def test_chaos_verify_ok(self, capsys):
+        code = main(
+            ["chaos", "--random", "100x400", "--machines", "4",
+             "--seed", "7", "--profile", "soak", "--verify", self.QUERY]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out
+        assert "retransmits=" in out
+        assert "verify   : OK" in out
+
+    def test_chaos_crash_aborts(self, capsys):
+        code = main(
+            ["chaos", "--random", "100x400", "--machines", "4",
+             "--crash", "2@10", self.QUERY]
+        )
+        assert code == EXIT_ABORTED
+        out = capsys.readouterr().out
+        assert "query aborted: machine 2 crashed" in out
+        assert "partial" in out
+
+    def test_bad_stall_spec(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--random", "100x400", "--stall", "nope",
+                  self.QUERY])
+
+    def test_bad_crash_spec(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--random", "100x400", "--crash", "nope",
+                  self.QUERY])
+
+
+class TestTimeout:
+    def test_timed_out_query_exits_nonzero_with_partial_metrics(
+            self, capsys):
+        code = main(
+            ["query", "--random", "200x800", "--machines", "4",
+             "--timeout", "2",
+             "SELECT a, b WHERE (a)-[]->(b), a.value > b.value"]
+        )
+        assert code == EXIT_ABORTED
+        assert code != 0
+        out = capsys.readouterr().out
+        assert "query aborted: deadline of 2 ticks exceeded" in out
+        assert "partial  :" in out
+        assert "ticks=" in out
+
+    def test_generous_timeout_completes(self, capsys):
+        code = main(
+            ["query", "--random", "60x240", "--machines", "2",
+             "--timeout", "100000",
+             "SELECT a, b WHERE (a)-[]->(b), a.value > 9000"]
+        )
+        assert code == 0
+        assert "rows" in capsys.readouterr().out

@@ -102,6 +102,36 @@ class TestNetwork:
             network.send(0, 0, dst, dst)
         assert len(network.deliver_due(0)) == 4
 
+    @pytest.mark.parametrize("rate", [1, 2, 3, 7, 8])
+    def test_clock_stays_integral(self, rate):
+        """Regression: fractional NIC serialization cost must never leak
+        into delivery ticks (the clock is integer ticks, always)."""
+        network = Network(latency=2, sender_rate=rate)
+        for index in range(3 * rate + 1):
+            network.send(0, 0, 1 + index % 3, index)
+        ticks = [envelope.deliver_at for envelope in network.deliver_due(100)]
+        assert all(isinstance(tick, int) for tick in ticks)
+        assert network.next_delivery_tick() is None
+
+    def test_sender_rate_slots_per_tick(self):
+        # rate=3: exactly three messages leave the NIC per tick.
+        network = Network(latency=0, sender_rate=3)
+        for index in range(7):
+            network.send(0, 0, 1 + index % 3, index)
+        assert len(network.deliver_due(0)) == 3
+        assert len(network.deliver_due(1)) == 3
+        assert len(network.deliver_due(2)) == 1
+
+    def test_idle_nic_clock_catches_up(self):
+        # A quiet NIC doesn't accumulate debt: sending again later uses
+        # the current tick, not stale slots from the last burst.
+        network = Network(latency=0, sender_rate=1)
+        network.send(0, 0, 1, "early")
+        network.deliver_due(0)
+        network.send(50, 0, 1, "late")
+        due = network.deliver_due(50)
+        assert [envelope.payload for envelope in due] == ["late"]
+
 
 class TestTaskQueue:
     def test_head_skips_done(self):

@@ -1,5 +1,8 @@
 """Unit tests for the incremental termination protocol (paper §3.3)."""
 
+import itertools
+import random
+
 from repro.runtime.termination import TerminationTracker
 
 
@@ -70,3 +73,92 @@ class TestGlobalCompletion:
         assert not tracker.stage_globally_complete(0)
         tracker.mark_sent(0)
         assert tracker.stage_globally_complete(0)
+
+
+class TestOrderInsensitivity:
+    """Property-style checks: the protocol's conclusions depend only on
+    the *set* of COMPLETED messages seen, never their arrival order —
+    the invariant the reliability layer exists to make safe to assume."""
+
+    def test_all_permutations_reach_the_same_verdict(self):
+        events = [(stage, peer) for stage in range(2) for peer in (1, 2)]
+        verdicts = set()
+        for order in itertools.permutations(events):
+            tracker = make(num_stages=2, num_machines=3)
+            tracker.mark_sent(0)
+            tracker.mark_sent(1)
+            for stage, peer in order:
+                tracker.on_completed(stage, peer)
+            verdicts.add((
+                tracker.all_complete(),
+                tracker.stage_globally_complete(0),
+                tracker.stage_globally_complete(1),
+            ))
+        assert verdicts == {(True, True, True)}
+
+    def test_completable_prefix_is_order_insensitive(self):
+        """After any arrival order of the same COMPLETED set, the stages
+        newly_completable reports as unblocked are identical."""
+        events = [(0, 1), (0, 2), (1, 1)]
+        outcomes = set()
+        for order in itertools.permutations(events):
+            tracker = make(num_stages=3, num_machines=3)
+            tracker.mark_sent(0)
+            for stage, peer in order:
+                tracker.on_completed(stage, peer)
+            outcomes.add(tuple(
+                tracker.newly_completable(stage, True, 0, True)
+                for stage in range(1, 3)
+            ))
+        # Stage 1 unblocked (stage 0 done everywhere); stage 2 is not
+        # (machine 2's COMPLETED(1) never arrived).
+        assert outcomes == {(True, False)}
+
+    def test_random_interleavings_agree(self):
+        rng = random.Random(7)
+        stages, machines = 3, 4
+        events = [(stage, peer)
+                  for stage in range(stages) for peer in range(1, machines)]
+        reference = None
+        for _trial in range(50):
+            rng.shuffle(events)
+            tracker = make(num_stages=stages, num_machines=machines)
+            for stage in range(stages):
+                tracker.mark_sent(stage)
+            for stage, peer in events:
+                tracker.on_completed(stage, peer)
+            snapshot = (
+                tracker.all_complete(),
+                tuple(tracker.stage_globally_complete(stage)
+                      for stage in range(stages)),
+            )
+            if reference is None:
+                reference = snapshot
+            assert snapshot == reference
+        assert reference == (True, (True, True, True))
+
+
+class TestOutboxInvariant:
+    """A stage never completes while its outbox still holds contexts:
+    COMPLETED must happen-after every context the stage emitted."""
+
+    def test_never_completable_with_nonempty_outbox(self):
+        for num_stages in (1, 2, 3):
+            for num_machines in (1, 2, 3):
+                tracker = make(num_stages=num_stages,
+                               num_machines=num_machines)
+                # Even with every other condition satisfied...
+                for stage in range(num_stages):
+                    for peer in range(1, num_machines):
+                        tracker.on_completed(stage, peer)
+                for stage in range(num_stages):
+                    assert not tracker.newly_completable(
+                        stage, True, 0, False   # ...outbox not empty
+                    )
+
+    def test_progress_summary_reflects_peers(self):
+        tracker = make(num_stages=2, num_machines=3)
+        assert tracker.progress_summary() == "stages complete: 0/3, 0/3"
+        tracker.mark_sent(0)
+        tracker.on_completed(0, 1)
+        assert tracker.progress_summary() == "stages complete: 2/3, 0/3"

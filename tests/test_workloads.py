@@ -142,6 +142,31 @@ class TestRandomQueries:
             assert sorted(result.rows) == sorted(reference.rows)
 
 
+class TestSeededWorkload:
+    def test_derives_everything_from_config_seed(self):
+        from repro.workloads import seeded_workload
+
+        config = ClusterConfig(num_machines=2, seed=13)
+        graph_a, queries_a = seeded_workload(config, num_vertices=50,
+                                             num_edges=200, num_queries=3)
+        graph_b, queries_b = seeded_workload(config, num_vertices=50,
+                                             num_edges=200, num_queries=3)
+        assert queries_a == queries_b
+        assert graph_a.num_edges == graph_b.num_edges
+        for vertex in graph_a.vertices():
+            assert list(graph_a.out_neighbors(vertex)) == \
+                list(graph_b.out_neighbors(vertex))
+
+    def test_different_seeds_differ(self):
+        from repro.workloads import seeded_workload
+
+        _graph, queries_a = seeded_workload(ClusterConfig(seed=1),
+                                            num_vertices=50, num_edges=200)
+        _graph, queries_b = seeded_workload(ClusterConfig(seed=2),
+                                            num_vertices=50, num_edges=200)
+        assert queries_a != queries_b
+
+
 class TestHeavyFastSplit:
     def test_split_by_geometric_middle(self):
         heavy, fast = split_heavy_fast({"a": 1, "b": 10, "c": 10_000})
