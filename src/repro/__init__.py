@@ -44,6 +44,7 @@ from repro.errors import (
     RemoteAccessError,
     ReproError,
     RuntimeFault,
+    TelemetryError,
 )
 from repro.graph import (
     DistributedGraph,
@@ -65,7 +66,13 @@ from repro.plan import (
     SchedulingPolicy,
     plan_query,
 )
-from repro.obs import Tracer, TraceProfile
+from repro.obs import (
+    MetricsRegistry,
+    Telemetry,
+    TimeSeriesSampler,
+    Tracer,
+    TraceProfile,
+)
 from repro.runtime import (
     PgxdAsyncEngine,
     QueryResult,
@@ -92,6 +99,9 @@ __all__ = [
     # observability
     "Tracer",
     "TraceProfile",
+    "Telemetry",
+    "MetricsRegistry",
+    "TimeSeriesSampler",
     # graph
     "GraphBuilder",
     "PropertyGraph",
@@ -125,4 +135,5 @@ __all__ = [
     "ChaosConfig",
     "FlowControlError",
     "ClusterConfigError",
+    "TelemetryError",
 ]

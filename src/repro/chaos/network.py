@@ -67,12 +67,13 @@ class ChaosNetwork(Network):
                     now, src, dst, _payload_name(payload)
                 ))
         else:
-            self._push(src, dst, payload, deliver_at, size)
+            self._push(src, dst, payload, deliver_at, size, sent_at=now)
         if duplicate:
             self.messages_duplicated += 1
             if tracer is not None:
                 tracer.emit(MessageDuplicated(
                     now, src, dst, _payload_name(payload), dup_delay
                 ))
-            self._push(src, dst, payload, base + dup_delay, size)
+            self._push(src, dst, payload, base + dup_delay, size,
+                       sent_at=now)
         return deliver_at

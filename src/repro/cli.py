@@ -14,6 +14,11 @@ Usage examples::
     python -m repro chaos --random 1000x5000 --machines 4 --seed 7 \\
         --profile soak --verify "SELECT a, b WHERE (a)-[]->(b)"
 
+    python -m repro monitor --random 1000x5000 --machines 4 \\
+        "SELECT a, b WHERE (a)-[]->(b)" --series-out series.jsonl
+
+    python -m repro bench --quick --compare BENCH_seed.json --threshold 25
+
     python -m repro analyze --random 1000x5000 pagerank --iterations 20
 
     python -m repro analyze --bsbm 500 wcc
@@ -22,6 +27,7 @@ Usage examples::
 import argparse
 import sys
 
+from repro.bench import EXIT_REGRESSION
 from repro.chaos import PROFILES, profile
 from repro.cluster.config import ClusterConfig
 from repro.errors import QueryAborted
@@ -95,6 +101,51 @@ def build_parser():
                             "results (exit 1 on mismatch)")
     chaos.add_argument("--limit-print", type=int, default=0,
                        help="max rows to print (default 0: stats only)")
+
+    monitor = subparsers.add_parser(
+        "monitor",
+        help="run a PGQL query with live telemetry and a terminal "
+             "dashboard (sparklines per machine + stage wavefront)",
+    )
+    _add_graph_args(monitor)
+    _add_query_args(monitor)
+    monitor.add_argument("--interval", type=int, default=1,
+                         help="sample the series every N ticks (default 1)")
+    monitor.add_argument("--refresh", type=int, default=None,
+                         help="redraw every N samples (default: 8 on a "
+                              "TTY, 32 in snapshot mode)")
+    monitor.add_argument("--width", type=int, default=32,
+                         help="sparkline width in columns (default 32)")
+    monitor.add_argument("--snapshots", action="store_true",
+                         help="force plain-text snapshots instead of the "
+                              "ANSI in-place redraw")
+    monitor.add_argument("--prom-out", metavar="PATH",
+                         help="write the final registry in Prometheus "
+                              "text exposition format")
+    monitor.add_argument("--series-out", metavar="PATH",
+                         help="write the per-tick series (.csv for CSV, "
+                              "anything else JSONL)")
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the seeded benchmark matrix, write BENCH_<tag>.json, "
+             "and optionally gate against a baseline",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="run the CI subset of the matrix (a strict "
+                            "subset of the full run, so comparisons "
+                            "against a full baseline stay valid)")
+    bench.add_argument("--tag", default="run",
+                       help="tag for the output document (default: run)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out", metavar="PATH",
+                       help="output path (default: BENCH_<tag>.json)")
+    bench.add_argument("--compare", metavar="PATH",
+                       help="baseline BENCH JSON to diff against; exit "
+                            "%d when a deterministic metric regressed "
+                            "past the threshold" % EXIT_REGRESSION)
+    bench.add_argument("--threshold", type=float, default=25.0,
+                       help="regression threshold in percent (default 25)")
 
     analyze = subparsers.add_parser("analyze", help="run a BSP algorithm")
     _add_graph_args(analyze)
@@ -195,6 +246,25 @@ def _print_abort(aborted):
         print("partial  :", aborted.metrics.summary())
     if aborted.detail:
         print("detail   :", aborted.detail)
+    if getattr(aborted, "flow_state", None):
+        print("flow     :")
+        for entry in aborted.flow_state:
+            windows = ",".join(
+                "s%d->m%d:%d" % (stage, dest, count)
+                for (stage, dest), count in sorted(
+                    entry["occupancy"].items()
+                )
+            )
+            print(
+                "  machine %d: buffered=%d frames=%d inflight=%d%s"
+                % (
+                    entry["machine"],
+                    entry["buffered_contexts"],
+                    entry["live_frames"],
+                    entry["inflight_total"],
+                    "  windows [%s]" % windows if windows else "",
+                )
+            )
     return EXIT_ABORTED
 
 
@@ -306,6 +376,102 @@ def cmd_trace(args):
     return 0
 
 
+def cmd_monitor(args):
+    from repro.obs import Telemetry
+    from repro.obs.dashboard import Dashboard
+    from repro.obs.exporters import prometheus_text, series_csv, \
+        series_jsonl
+    from repro.pgql import parse_and_validate
+    from repro.plan.paths import has_quantified_paths
+
+    engine, options = _build_engine(args)
+    query = parse_and_validate(args.pgql)
+    dashboard = Dashboard(
+        width=args.width,
+        interactive=False if args.snapshots else None,
+    )
+    dashboard.refresh_every = args.refresh or (
+        8 if dashboard.interactive else 32
+    )
+    telemetry = Telemetry(interval=args.interval)
+    try:
+        if has_quantified_paths(query):
+            # Union expansions each carry their own sampler; render the
+            # merged series once at the end instead of live.
+            options.telemetry = True
+            result = engine.query(query, options)
+            telemetry = result.telemetry
+        else:
+            dashboard.attach(telemetry.sampler)
+            plan = engine.plan(query, options)
+            result = engine.execute_plan(
+                plan, telemetry=telemetry, deadline=options.timeout_ticks
+            )
+    except QueryAborted as aborted:
+        code = _print_abort(aborted)
+        if telemetry.sampler.num_samples:
+            print(telemetry.summary())
+        return code
+    dashboard.final(telemetry.sampler, telemetry.meta.get("ticks", 0))
+    print()
+    print("rows     :", len(result.rows))
+    print("metrics  :", result.metrics.summary())
+    print(telemetry.summary())
+    if args.prom_out:
+        with open(args.prom_out, "w") as handle:
+            handle.write(prometheus_text(telemetry.registry))
+        print("prometheus text written to", args.prom_out)
+    if args.series_out:
+        exporter = (
+            series_csv if args.series_out.endswith(".csv") else series_jsonl
+        )
+        with open(args.series_out, "w") as handle:
+            handle.write(exporter(telemetry.sampler))
+        print("series written to", args.series_out)
+    return 0
+
+
+def cmd_bench(args):
+    from repro import bench
+
+    doc = bench.run_bench(tag=args.tag, quick=args.quick, seed=args.seed,
+                          progress=print)
+    out = args.out or ("BENCH_%s.json" % args.tag)
+    bench.write_bench(doc, out)
+    print("wrote", out)
+    for key, record in sorted(doc["workloads"].items()):
+        print(
+            "  %-28s ticks=%-7d ops=%-9d rows=%-6d peak_buf=%d/%d "
+            "wall=%.3fs"
+            % (
+                key,
+                record["ticks"],
+                record["total_ops"],
+                record["rows"],
+                record["peak_buffered_contexts"],
+                record["budget"],
+                record["wall_time_seconds"],
+            )
+        )
+    if args.compare:
+        baseline = bench.load_bench(args.compare)
+        regressions, lines = bench.compare(doc, baseline,
+                                           threshold=args.threshold)
+        print()
+        print("compare vs %s (threshold %.0f%%):"
+              % (args.compare, args.threshold))
+        for line in lines:
+            print(" ", line)
+        if regressions:
+            print()
+            print("REGRESSION: %d gated metric(s) worse than baseline"
+                  % len(regressions))
+            return EXIT_REGRESSION
+        print()
+        print("OK: no gated metric regressed past the threshold")
+    return 0
+
+
 def cmd_analyze(args):
     from repro.analytics import (
         BspEngine,
@@ -355,6 +521,10 @@ def main(argv=None):
         return cmd_trace(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "monitor":
+        return cmd_monitor(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     return cmd_analyze(args)
 
 

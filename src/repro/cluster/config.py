@@ -102,6 +102,15 @@ class ClusterConfig:
     #: Cap on recorded trace events per query (excess events are counted
     #: in ``trace.dropped`` instead of stored).
     trace_max_events: int = 1_000_000
+    #: Record live telemetry for every query on this cluster: a metrics
+    #: registry (counters/gauges/histograms) plus a per-tick time series
+    #: of each machine's flow-control and memory state, returned as
+    #: ``QueryResult.telemetry``.  Off by default — the runtime then
+    #: holds ``None`` and each instrumentation site is one pointer
+    #: comparison.  Per-query: ``PlannerOptions(telemetry=True)``.
+    telemetry: bool = False
+    #: Sample the time series every N processed simulator ticks.
+    telemetry_interval: int = 1
 
     #: Hard cap on ticks before the simulator declares a hang (guards
     #: against runtime bugs during development; never hit by the tests).
@@ -127,6 +136,8 @@ class ClusterConfig:
             raise ClusterConfigError("flow_control_window must be >= 1")
         if self.retransmit_timeout < 0:
             raise ClusterConfigError("retransmit_timeout must be >= 0")
+        if self.telemetry_interval < 1:
+            raise ClusterConfigError("telemetry_interval must be >= 1")
         if self.query_deadline_ticks is not None \
                 and self.query_deadline_ticks < 1:
             raise ClusterConfigError("query_deadline_ticks must be >= 1")

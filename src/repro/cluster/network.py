@@ -20,14 +20,16 @@ import itertools
 class Envelope:
     """A message in flight."""
 
-    __slots__ = ("src", "dst", "payload", "deliver_at", "size")
+    __slots__ = ("src", "dst", "payload", "deliver_at", "size", "sent_at")
 
-    def __init__(self, src, dst, payload, deliver_at, size):
+    def __init__(self, src, dst, payload, deliver_at, size, sent_at=0):
         self.src = src
         self.dst = dst
         self.payload = payload
         self.deliver_at = deliver_at
         self.size = size
+        #: Tick the sender handed the payload over (latency telemetry).
+        self.sent_at = sent_at
 
 
 class Network:
@@ -93,11 +95,11 @@ class Network:
         self._channel_clock[channel] = deliver_at
         return deliver_at
 
-    def _push(self, src, dst, payload, deliver_at, size):
+    def _push(self, src, dst, payload, deliver_at, size, sent_at=0):
         heapq.heappush(
             self._heap,
             (deliver_at, next(self._sequence),
-             Envelope(src, dst, payload, deliver_at, size)),
+             Envelope(src, dst, payload, deliver_at, size, sent_at)),
         )
 
     # ------------------------------------------------------------------
@@ -111,7 +113,7 @@ class Network:
             + self._transfer_ticks(size)
         )
         deliver_at = self._fifo_clamp((src, dst), deliver_at)
-        self._push(src, dst, payload, deliver_at, size)
+        self._push(src, dst, payload, deliver_at, size, sent_at=now)
         return deliver_at
 
     def deliver_due(self, now):

@@ -18,7 +18,13 @@ Two optional subsystems hook in here:
   scripted machine stalls and crashes each tick;
 * **timers**: machines exposing ``uses_tick_hook`` get an ``on_tick``
   call every tick (the reliability layer's retransmission timers), and
-  their ``next_timer_tick`` participates in idle fast-forwarding.
+  their ``next_timer_tick`` participates in idle fast-forwarding;
+* **telemetry** (``repro.obs.telemetry``): when installed, its
+  :class:`~repro.obs.sampler.TimeSeriesSampler` rides the same
+  ``on_tick``/``next_timer_tick`` contract — called after every
+  processed tick's workers ran, flushed once more when the run ends —
+  and the simulator observes the message-latency histogram at each
+  delivery.
 
 A hard machine crash or an exceeded query deadline raises a structured
 :class:`~repro.errors.QueryAborted` carrying partial metrics and the
@@ -88,7 +94,7 @@ class MachineAPI:
 class Simulator:
     """Drives machines tick by tick until global completion."""
 
-    def __init__(self, config, tracer=None):
+    def __init__(self, config, tracer=None, telemetry=None):
         self._config = config
         chaos_config = config.chaos
         if chaos_config is not None:
@@ -116,6 +122,8 @@ class Simulator:
         self._machines = []
         #: Optional repro.obs.Tracer; None keeps every hot path untraced.
         self.tracer = tracer
+        #: Optional repro.obs.Telemetry; None keeps every hot path bare.
+        self.telemetry = telemetry
         #: Abort the run at this tick; the engine may override per query.
         self.deadline = config.query_deadline_ticks
 
@@ -156,6 +164,59 @@ class Simulator:
         metrics.messages_duplicated = network.messages_duplicated
         metrics.messages_delayed = network.messages_delayed
 
+    def _flow_state(self):
+        """Per-machine flow-control/memory snapshot for abort reports.
+
+        Captured on *every* abort path — deadline timeouts included, not
+        just crashes — so a query stuck on an exhausted window can be
+        debugged from the exception alone.
+        """
+        state = []
+        for machine_id, machine in enumerate(self._machines):
+            flow = getattr(machine, "flow", None)
+            metrics = getattr(machine, "metrics", None)
+            entry = {
+                "machine": machine_id,
+                "occupancy": flow.occupancy() if flow is not None else {},
+                "inflight_total": (
+                    flow.inflight_total() if flow is not None else 0
+                ),
+                "buffered_contexts": getattr(
+                    metrics, "cur_buffered_contexts", 0
+                ),
+                "live_frames": getattr(metrics, "cur_live_frames", 0),
+            }
+            state.append(entry)
+        return state
+
+    @staticmethod
+    def _describe_flow_state(state):
+        """Compact one-line rendering of the stuck machines, or None."""
+        parts = []
+        for entry in state:
+            if not (entry["occupancy"] or entry["buffered_contexts"]
+                    or entry["live_frames"]):
+                continue
+            windows = ",".join(
+                "s%d->m%d:%d" % (stage, dest, count)
+                for (stage, dest), count in sorted(
+                    entry["occupancy"].items()
+                )
+            )
+            parts.append(
+                "m%d buf=%d frames=%d inflight=%d%s"
+                % (
+                    entry["machine"],
+                    entry["buffered_contexts"],
+                    entry["live_frames"],
+                    entry["inflight_total"],
+                    " [%s]" % windows if windows else "",
+                )
+            )
+        if not parts:
+            return None
+        return "flow: " + " | ".join(parts)
+
     def _abort(self, reason):
         if self.tracer is not None:
             from repro.obs.events import QueryAbortedEvent
@@ -163,6 +224,10 @@ class Simulator:
             self.tracer.emit(QueryAbortedEvent(self.now, reason))
             self.tracer.meta["ticks"] = self.now
             self.tracer.meta["aborted"] = reason
+        if self.telemetry is not None:
+            self.telemetry.sampler.flush(self.now)
+            self.telemetry.meta["ticks"] = self.now
+            self.telemetry.meta["aborted"] = reason
         details = []
         tracker = getattr(self._machines[0], "termination", None)
         if tracker is not None:
@@ -174,12 +239,17 @@ class Simulator:
         )
         if unacked:
             details.append("%d unacked frames" % unacked)
+        flow_state = self._flow_state()
+        flow_line = self._describe_flow_state(flow_state)
+        if flow_line:
+            details.append(flow_line)
         raise QueryAborted(
             reason,
             tick=self.now,
             metrics=self._partial_metrics(),
             trace=self.tracer,
             detail="; ".join(details) or None,
+            flow_state=flow_state,
         )
 
     def run(self):
@@ -203,6 +273,14 @@ class Simulator:
             for index, machine in enumerate(machines)
             if getattr(machine, "uses_tick_hook", False)
         ]
+        telemetry = self.telemetry
+        sampler = None
+        if telemetry is not None:
+            sampler = telemetry.sampler
+            num_stages = getattr(
+                getattr(machines[0], "plan", None), "num_stages", 0
+            )
+            sampler.bind(machines, config, num_stages)
         if tracer is not None:
             from repro.obs.events import MessageDeliver, TickSample
 
@@ -226,6 +304,10 @@ class Simulator:
                                 type(envelope.payload).__name__),
                         getattr(envelope.payload, "stage", None),
                     ))
+                if telemetry is not None:
+                    telemetry.message_latency.observe(
+                        self.now - envelope.sent_at
+                    )
                 machines[envelope.dst].on_message(envelope.src, envelope.payload)
 
             all_idle = True
@@ -250,6 +332,10 @@ class Simulator:
                     ))
                     last_ops[index] = metrics.ops
                 tracer.emit(TickSample(self.now, tuple(samples)))
+            if sampler is not None:
+                # End-of-tick sample: the same uses_tick_hook contract
+                # as the timers above, after all workers ran.
+                sampler.on_tick(self.now)
 
             if all(machine.is_finished() for machine in machines):
                 if len(self.network) == 0:
@@ -288,6 +374,10 @@ class Simulator:
         wall = time.perf_counter() - started
         if tracer is not None:
             tracer.meta["ticks"] = self.now
+        if telemetry is not None:
+            sampler.flush(self.now)
+            telemetry.meta["ticks"] = self.now
+            telemetry.meta["wall_time_seconds"] = wall
         metrics = QueryMetrics.collect(
             self.now,
             [machine.metrics for machine in machines],

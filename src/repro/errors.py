@@ -82,16 +82,23 @@ class QueryAborted(ReproError):
       collected from the machines at abort time (may be ``None``);
     * ``trace`` — the :class:`~repro.obs.Tracer` recording the run, when
       tracing was enabled;
-    * ``detail`` — optional termination/flow-control progress snapshot.
+    * ``detail`` — optional termination/flow-control progress snapshot;
+    * ``flow_state`` — per-machine flow-control/memory snapshot at abort
+      time (deadline aborts included): a list of dicts with ``machine``,
+      ``occupancy`` (the nonzero ``(stage, dest) -> in-flight`` windows
+      from :meth:`FlowControl.occupancy`), and the ``cur_*`` gauges
+      (``buffered_contexts``, ``live_frames``), for stuck-window
+      debugging.  ``None`` when the simulator had no machines attached.
     """
 
     def __init__(self, reason, tick=None, metrics=None, trace=None,
-                 detail=None):
+                 detail=None, flow_state=None):
         self.reason = reason
         self.tick = tick
         self.metrics = metrics
         self.trace = trace
         self.detail = detail
+        self.flow_state = flow_state
         message = "query aborted"
         if tick is not None:
             message += " at tick %d" % tick
@@ -107,3 +114,7 @@ class FlowControlError(RuntimeFault):
 
 class ClusterConfigError(ReproError):
     """Invalid cluster simulator configuration."""
+
+
+class TelemetryError(ReproError):
+    """Invalid use of the live-telemetry metrics registry."""

@@ -15,6 +15,21 @@ control, and the termination protocol, and returns it as
 When tracing is off (the default) the runtime holds ``None`` instead of
 a tracer and every instrumentation site reduces to one ``is not None``
 check — see ``benchmarks/test_txt2_trace_overhead.py``.
+
+Live telemetry is the second pillar: a label-aware
+:class:`MetricsRegistry` (counters, gauges, histograms) plus a
+:class:`TimeSeriesSampler` recording per-machine series every simulator
+tick.  Enable it per query (``PlannerOptions(telemetry=True)``) or per
+cluster (``ClusterConfig(telemetry=True)``); the engine returns the
+:class:`Telemetry` handle as ``QueryResult.telemetry``::
+
+    result = engine.query(pgql, options=PlannerOptions(telemetry=True))
+    print(result.telemetry.summary())
+    print(result.telemetry.prometheus())       # text exposition format
+    series = result.telemetry.sampler.series(0)   # machine 0's curves
+
+Telemetry-off follows the same zero-cost contract as tracing
+(``benchmarks/test_txt3_telemetry_overhead.py``).
 """
 
 from repro.obs.events import (
@@ -43,12 +58,47 @@ from repro.obs.events import (
     WorkerSpan,
 )
 from repro.obs.export import chrome_trace, render_timeline
+from repro.obs.exporters import (
+    parse_prometheus,
+    parse_series_csv,
+    parse_series_jsonl,
+    prometheus_text,
+    registry_csv,
+    registry_jsonl,
+    series_csv,
+    series_jsonl,
+)
 from repro.obs.profile import TraceProfile
+from repro.obs.sampler import MACHINE_COLUMNS, TimeSeriesSampler
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Telemetry,
+)
 from repro.obs.tracer import Tracer
 
 __all__ = [
     "Tracer",
     "TraceProfile",
+    "Telemetry",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeriesSampler",
+    "MACHINE_COLUMNS",
+    "prometheus_text",
+    "parse_prometheus",
+    "registry_jsonl",
+    "registry_csv",
+    "series_jsonl",
+    "series_csv",
+    "parse_series_jsonl",
+    "parse_series_csv",
     "TraceEvent",
     "EVENT_KINDS",
     "TickSample",

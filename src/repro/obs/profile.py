@@ -21,6 +21,10 @@ class TraceProfile:
 
     def __init__(self, tracer):
         self.meta = dict(tracer.meta)
+        #: Events the tracer discarded at its ring limit — every series
+        #: below under-counts when this is nonzero.
+        self.dropped = tracer.dropped
+        self.max_events = tracer.max_events
         num_machines = self.meta.get("num_machines", 0)
         num_stages = self.meta.get("num_stages", 0)
 
@@ -141,6 +145,12 @@ class TraceProfile:
     def summary(self):
         """Multi-line human summary of the run's dynamics."""
         lines = []
+        if self.dropped:
+            lines.append(
+                "WARNING: trace truncated — %d events dropped at "
+                "max_events=%d; every figure below under-counts"
+                % (self.dropped, self.max_events)
+            )
         ticks = self.meta.get("ticks")
         if ticks is not None:
             lines.append("duration: %d ticks" % ticks)

@@ -1,0 +1,230 @@
+"""Per-tick time-series sampling of the live runtime.
+
+The :class:`TimeSeriesSampler` is driven by the simulator through the
+same ``uses_tick_hook`` contract as the reliability layer's timers: it
+exposes ``on_tick``/``next_timer_tick`` and is called once per processed
+tick (after every worker ran), plus a final flush when the run ends.
+Idle fast-forwarding skips ticks the same way it does for machines —
+nothing changes during skipped ticks, and every sample carries its own
+tick, so the series is simply sparse there.
+
+Each sample records, per machine, the quantities the paper's §3.2/§3.3
+claims are about: the buffered-context gauge against the configured
+budget, flow-control window occupancy, quota grants, retransmits, and
+the idle fraction.  The ``buffered_max`` column is the within-interval
+high-water mark (exact whenever the machine's peak advanced during the
+interval), so ``max(series["buffered_max"]) == peak_buffered_contexts``
+holds for a complete run — the bounded-memory claim as a curve.
+
+Samples are pure functions of the deterministic simulation state, so a
+fixed seed reproduces the series bit for bit.
+"""
+
+#: Per-machine series columns, in export order.
+MACHINE_COLUMNS = (
+    "ops",            # micro-ops executed since the previous sample
+    "buffered",       # buffered-context gauge (inbox + parked + outgoing)
+    "buffered_max",   # within-interval high-water mark of that gauge
+    "frames",         # live traversal frames
+    "inflight",       # total unacked flow-control window occupancy
+    "occupancy",      # number of (stage, dest) windows with traffic in flight
+    "inbox_depth",    # queued bulk work messages
+    "idle_frac",      # 1 - ops / (workers * ops_per_tick * interval ticks)
+    "quota_granted",  # cumulative window slots received from peers
+    "retransmits",    # cumulative reliability-layer retransmissions
+    "stages_done",    # stages this machine has declared COMPLETED
+)
+
+
+class TimeSeriesSampler:
+    """Records per-machine series each simulator tick (telemetry on)."""
+
+    #: Simulator tick-hook contract (same seam as reliability timers).
+    uses_tick_hook = True
+
+    def __init__(self, telemetry, interval=1):
+        self.telemetry = telemetry
+        #: Sample every N processed ticks (1 = every tick).
+        self.interval = max(1, int(interval))
+        #: Tick of each sample (shared by all machines).
+        self.ticks = []
+        #: machine -> {column: [values]}, aligned with ``ticks``.
+        self.machines = {}
+        #: Per-sample tuple of per-stage completed-machine counts — the
+        #: stage-completion wavefront the monitor dashboard renders.
+        self.wavefront = []
+        #: Receiver-side context budget (0 = unknown/not bound yet).
+        self.budget = 0
+        self.num_stages = 0
+        self._bound = None
+        self._capacity = 1
+        self._last_counts = {}
+        self._prev_peak = {}
+        self._last_tick = None
+        #: Optional live hook: called as ``on_sample(sampler, tick)``
+        #: every ``callback_every`` samples (the monitor dashboard).
+        self.on_sample = None
+        self.callback_every = 1
+        self._since_callback = 0
+
+    @property
+    def num_samples(self):
+        return len(self.ticks)
+
+    def bind(self, machines, config, num_stages):
+        """Attach to a run's machines; called by the simulator."""
+        self._bound = list(machines)
+        self.num_stages = num_stages
+        self._capacity = max(
+            1, config.workers_per_machine * config.ops_per_tick
+        )
+        senders = max(0, config.num_machines - 1)
+        # Receiver-side bound: in-flight windows plus one partially
+        # filled bulk buffer per (stage, sender) channel — the same
+        # bound tests/test_engine_flow_memory.py asserts.
+        self.budget = (
+            num_stages * senders * config.bulk_message_size
+            * (config.flow_control_window + 1)
+        )
+        self.telemetry.budget_gauge.set(self.budget)
+        self.telemetry.meta.setdefault("budget", self.budget)
+        self.telemetry.meta.setdefault("num_stages", num_stages)
+        self.telemetry.meta.setdefault(
+            "num_machines", config.num_machines
+        )
+
+    # ------------------------------------------------------------------
+    # Simulator tick-hook contract
+    # ------------------------------------------------------------------
+    def on_tick(self, now):
+        if self._last_tick is not None and now == self._last_tick:
+            return
+        if (
+            self._last_tick is not None
+            and now - self._last_tick < self.interval
+        ):
+            return
+        self._sample(now)
+
+    def next_timer_tick(self):
+        """The sampler never forces the simulator awake."""
+        return None
+
+    def flush(self, now):
+        """Record the final state of a finished (or aborted) run."""
+        if self._last_tick is None or now != self._last_tick:
+            self._sample(now)
+
+    # ------------------------------------------------------------------
+    def _series_for(self, machine_id):
+        series = self.machines.get(machine_id)
+        if series is None:
+            series = self.machines[machine_id] = {
+                column: [] for column in MACHINE_COLUMNS
+            }
+        return series
+
+    def _sample(self, now):
+        machines = self._bound
+        if machines is None:
+            return
+        telemetry = self.telemetry
+        span = 1 if self._last_tick is None else max(1, now - self._last_tick)
+        self.ticks.append(now)
+        self._last_tick = now
+        stage_done = [0] * self.num_stages
+        for machine_id, machine in enumerate(machines):
+            metrics = machine.metrics
+            last = self._last_counts.setdefault(machine_id, {})
+            ops_delta = metrics.ops - last.get("ops", 0)
+            buffered = metrics.cur_buffered_contexts
+            peak = metrics.peak_buffered_contexts
+            prev_peak = self._prev_peak.get(machine_id, 0)
+            buffered_max = peak if peak > prev_peak else buffered
+            self._prev_peak[machine_id] = peak
+            flow = getattr(machine, "flow", None)
+            inflight = flow.inflight_total() if flow is not None else 0
+            occupancy = flow.occupancy_count() if flow is not None else 0
+            depth = (
+                machine.inbox_depth()
+                if hasattr(machine, "inbox_depth") else 0
+            )
+            idle_frac = 1.0 - min(
+                1.0, ops_delta / (self._capacity * span)
+            )
+            termination = getattr(machine, "termination", None)
+            stages_done = 0
+            if termination is not None:
+                for stage in range(self.num_stages):
+                    if termination.sent(stage):
+                        stages_done += 1
+                        stage_done[stage] += 1
+            series = self._series_for(machine_id)
+            series["ops"].append(ops_delta)
+            series["buffered"].append(buffered)
+            series["buffered_max"].append(buffered_max)
+            series["frames"].append(metrics.cur_live_frames)
+            series["inflight"].append(inflight)
+            series["occupancy"].append(occupancy)
+            series["inbox_depth"].append(depth)
+            series["idle_frac"].append(round(idle_frac, 4))
+            series["quota_granted"].append(metrics.quota_granted)
+            series["retransmits"].append(metrics.retransmits)
+            series["stages_done"].append(stages_done)
+
+            # Registry sync: gauges take the sampled value, mirrored
+            # counters advance by their delta since the last sample.
+            label = (str(machine_id),)
+            telemetry.buffered_gauge.labels(*label).set(buffered)
+            telemetry.buffered_peak_gauge.labels(*label).set(peak)
+            telemetry.inflight_gauge.labels(*label).set(inflight)
+            telemetry.frames_gauge.labels(*label).set(
+                metrics.cur_live_frames
+            )
+            telemetry.stages_complete_gauge.labels(*label).set(stages_done)
+            telemetry.inbox_depth.labels(*label).observe(depth)
+            for name, family in telemetry.mirrored.items():
+                value = getattr(metrics, name)
+                delta = value - last.get(name, 0)
+                if delta:
+                    family.labels(*label).inc(delta)
+                last[name] = value
+            last["ops"] = metrics.ops
+        self.wavefront.append(tuple(stage_done))
+
+        if self.on_sample is not None:
+            self._since_callback += 1
+            if self._since_callback >= self.callback_every:
+                self._since_callback = 0
+                self.on_sample(self, now)
+
+    # ------------------------------------------------------------------
+    # Inspection & composition
+    # ------------------------------------------------------------------
+    def series(self, machine_id):
+        """``{"ticks": [...], <column>: [...]}`` for one machine."""
+        out = {"ticks": list(self.ticks)}
+        out.update(self._series_for(machine_id))
+        return out
+
+    def peak(self, column):
+        """Max of *column* across all machines (0 on an empty series)."""
+        peak = 0
+        for series in self.machines.values():
+            if series[column]:
+                peak = max(peak, max(series[column]))
+        return peak
+
+    def extend(self, other, tick_offset=0):
+        """Append a later run's samples, shifting ticks (union seams)."""
+        self.ticks.extend(tick + tick_offset for tick in other.ticks)
+        for machine_id, series in other.machines.items():
+            mine = self._series_for(machine_id)
+            for column in MACHINE_COLUMNS:
+                mine[column].extend(series[column])
+        self.wavefront.extend(other.wavefront)
+        self.num_stages = max(self.num_stages, other.num_stages)
+        self.budget = max(self.budget, other.budget)
+        if other.ticks:
+            self._last_tick = other.ticks[-1] + tick_offset
+        return self

@@ -39,6 +39,10 @@ class PlannerOptions:
     #: Record a structured event trace for this query (see ``repro.obs``);
     #: the trace is returned as ``QueryResult.trace``.
     trace: bool = False
+    #: Record live telemetry for this query (metrics registry + per-tick
+    #: time series, see ``repro.obs.telemetry``); returned as
+    #: ``QueryResult.telemetry``.
+    telemetry: bool = False
     #: Per-query deadline in simulated ticks: the run aborts with a
     #: structured ``QueryAborted`` (partial metrics + trace) once the
     #: clock passes it.  Overrides ``ClusterConfig.query_deadline_ticks``;

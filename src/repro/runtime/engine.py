@@ -26,7 +26,7 @@ class QueryResult:
     """The outcome of one query execution."""
 
     def __init__(self, result_set, metrics, plan, stage_profile=None,
-                 trace=None):
+                 trace=None, telemetry=None):
         self.result_set = result_set
         self.metrics = metrics
         self.plan = plan
@@ -39,6 +39,10 @@ class QueryResult:
         #: The :class:`repro.obs.Tracer` that recorded this execution, or
         #: None when tracing was off (the default).
         self.trace = trace
+        #: The :class:`repro.obs.Telemetry` (metrics registry + per-tick
+        #: time series) of this execution, or None when live telemetry
+        #: was off (the default).
+        self.telemetry = telemetry
 
     def explain_analyze(self):
         """Stage plan annotated with runtime counters, as text.
@@ -52,6 +56,12 @@ class QueryResult:
             return "no stage profile available"
         profile = self.trace.profile() if self.trace is not None else None
         lines = []
+        if self.trace is not None and self.trace.dropped:
+            lines.append(
+                "WARNING: trace truncated — %d events dropped at "
+                "max_events=%d; trace-derived counters under-count"
+                % (self.trace.dropped, self.trace.max_events)
+            )
         if profile is not None:
             ticks = profile.meta.get("ticks")
             if ticks is not None:
@@ -150,6 +160,7 @@ class PgxdAsyncEngine(Engine):
         plan = self.plan(query, options)
         deadline = options.timeout_ticks if options is not None else None
         return self.execute_plan(plan, tracer=self._make_tracer(options),
+                                 telemetry=self._make_telemetry(options),
                                  deadline=deadline)
 
     def _make_tracer(self, options):
@@ -160,7 +171,16 @@ class PgxdAsyncEngine(Engine):
             return Tracer(max_events=self.config.trace_max_events)
         return None
 
-    def execute_plan(self, plan, tracer=None, deadline=None):
+    def _make_telemetry(self, options):
+        """Fresh live telemetry when enabled per query/cluster, else None."""
+        if (options is not None and options.telemetry) \
+                or self.config.telemetry:
+            from repro.obs import Telemetry
+
+            return Telemetry(interval=self.config.telemetry_interval)
+        return None
+
+    def execute_plan(self, plan, tracer=None, deadline=None, telemetry=None):
         """Step iv: run a compiled plan on the simulated cluster.
 
         *deadline* (ticks) overrides ``config.query_deadline_ticks`` for
@@ -174,7 +194,8 @@ class PgxdAsyncEngine(Engine):
                 workers_per_machine=self.config.workers_per_machine,
                 ops_per_tick=self.config.ops_per_tick,
             )
-        simulator = Simulator(self.config, tracer=tracer)
+        simulator = Simulator(self.config, tracer=tracer,
+                              telemetry=telemetry)
         if deadline is not None:
             simulator.deadline = deadline
         machines = [
@@ -186,6 +207,7 @@ class PgxdAsyncEngine(Engine):
                 self.config,
                 debug_checks=self.debug_checks,
                 tracer=tracer,
+                telemetry=telemetry,
             )
             for machine_id in range(self.config.num_machines)
         ]
@@ -216,7 +238,8 @@ class PgxdAsyncEngine(Engine):
                 plan.query.edge_vars(),
             )
         return QueryResult(result_set, metrics, plan,
-                           stage_profile=stage_profile, trace=tracer)
+                           stage_profile=stage_profile, trace=tracer,
+                           telemetry=telemetry)
 
 
 def execute_union(query, options, run_one):
@@ -238,6 +261,7 @@ def execute_union(query, options, run_one):
     plan = None
     profiles = []  # (plan, stage_profile) of expansions that computed one
     merged_trace = None
+    merged_telemetry = None
     for expansion in expansions:
         stripped = Query(
             list(expansion.select_items)
@@ -268,6 +292,15 @@ def execute_union(query, options, run_one):
 
                 merged_trace = Tracer(max_events=result.trace.max_events)
             merged_trace.extend(result.trace, tick_offset=combined.ticks)
+        if result.telemetry is not None:
+            # Same end-to-end layout for the telemetry time series.
+            if merged_telemetry is None:
+                from repro.obs import Telemetry
+
+                merged_telemetry = Telemetry()
+            merged_telemetry.extend(
+                result.telemetry, tick_offset=combined.ticks
+            )
         combined.merge(result.metrics)
 
     stage_profile = None
@@ -301,7 +334,8 @@ def execute_union(query, options, run_one):
     if query.limit is not None:
         rows = rows[: query.limit]
     return QueryResult(ResultSet(columns, rows), combined, plan,
-                       stage_profile=stage_profile, trace=merged_trace)
+                       stage_profile=stage_profile, trace=merged_trace,
+                       telemetry=merged_telemetry)
 
 
 def run_query(graph, query, config=None, options=None, debug_checks=False):

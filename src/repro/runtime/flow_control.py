@@ -88,6 +88,16 @@ class FlowControl:
             if inflight
         }
 
+    def occupancy_count(self):
+        """Number of (stage, dest) windows with traffic in flight.
+
+        Cheaper than ``len(occupancy())`` — sampled every tick by the
+        telemetry time series.
+        """
+        return sum(
+            1 for row in self._inflight for inflight in row if inflight
+        )
+
     def limit(self, stage, dest):
         return self._limit[stage][dest]
 

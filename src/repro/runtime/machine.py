@@ -47,7 +47,7 @@ class QueryMachine:
     """One simulated machine executing its share of a query."""
 
     def __init__(self, plan, dist_graph, machine_id, api, config,
-                 debug_checks=False, tracer=None):
+                 debug_checks=False, tracer=None, telemetry=None):
         self.plan = plan
         self.graph = plan.graph
         self.local = dist_graph.local(machine_id)
@@ -64,7 +64,7 @@ class QueryMachine:
             from repro.runtime.reliability import ReliableTransport
 
             api = ReliableTransport(api, config, self.metrics,
-                                    tracer=tracer)
+                                    tracer=tracer, telemetry=telemetry)
         self.api = api
         #: Simulator hook: reliability retransmission timers need a
         #: per-tick callback and participate in idle fast-forwarding.
@@ -73,6 +73,9 @@ class QueryMachine:
         #: None (the default) keeps all instrumentation sites to a single
         #: pointer comparison.
         self.trace = tracer
+        #: Optional repro.obs.Telemetry shared by every machine; None
+        #: (the default) costs the same single pointer comparison.
+        self.telemetry = telemetry
 
         num_stages = plan.num_stages
         num_machines = config.num_machines
@@ -215,6 +218,8 @@ class QueryMachine:
     def _dispatch(self, src, payload):
         if isinstance(payload, WorkMessage):
             payload.src = src
+            if self.telemetry is not None:
+                payload.arrived_at = self.api.now
             self._inbox[payload.stage].append(payload)
             weight = sum(_item_weight(item) for item in payload.items)
             self.stage_load[payload.stage] += len(payload.items)
@@ -279,7 +284,22 @@ class QueryMachine:
 
     def pop_message(self, stage):
         inbox = self._inbox[stage]
-        return inbox.popleft() if inbox else None
+        if not inbox:
+            return None
+        message = inbox.popleft()
+        if self.telemetry is not None:
+            # Hop service time: how long the bulk waited to be consumed.
+            self.telemetry.inbox_wait.observe(
+                self.api.now - message.arrived_at
+            )
+        return message
+
+    def inbox_depth(self):
+        """Queued bulk work messages across all stages (telemetry)."""
+        total = 0
+        for inbox in self._inbox:
+            total += len(inbox)
+        return total
 
     def pop_local_item(self, stage):
         """Take one work-shared local continuation for *stage*, if any."""

@@ -21,13 +21,14 @@ class WorkMessage:
     ``(vertex, appendix)`` pairs (see ``runtime.hops``).
     """
 
-    __slots__ = ("stage", "items", "seq", "src")
+    __slots__ = ("stage", "items", "seq", "src", "arrived_at")
 
     def __init__(self, stage, items):
         self.stage = stage
         self.items = items
         self.seq = next(_SEQUENCE)
         self.src = None  # filled in on delivery
+        self.arrived_at = 0  # delivery tick (inbox-wait telemetry)
 
     def __len__(self):
         return len(self.items)

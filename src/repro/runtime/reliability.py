@@ -53,10 +53,11 @@ class _ChannelReceiver:
 class ReliableTransport:
     """Per-machine reliable channel layer wrapping a ``MachineAPI``."""
 
-    def __init__(self, api, config, metrics, tracer=None):
+    def __init__(self, api, config, metrics, tracer=None, telemetry=None):
         self._api = api
         self._metrics = metrics
         self._trace = tracer
+        self._telemetry = telemetry
         self.machine_id = api.machine_id
         rto = config.retransmit_timeout
         if not rto:
@@ -177,6 +178,10 @@ class ReliableTransport:
                         self._trace.emit(Retransmit(
                             now, self.machine_id, dst, seq, record[4]
                         ))
+                    if self._telemetry is not None:
+                        self._telemetry.retransmit_attempts.observe(
+                            record[4]
+                        )
                     self._api.send(dst, record[0], record[1])
                     resent += 1
                 if next_poll is None or record[2] < next_poll:

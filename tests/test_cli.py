@@ -200,3 +200,92 @@ class TestTimeout:
         )
         assert code == 0
         assert "rows" in capsys.readouterr().out
+
+
+class TestMonitorCommand:
+    QUERY = "SELECT a, b WHERE (a)-[]->(b), a.value > b.value"
+
+    def test_monitor_args(self):
+        args = build_parser().parse_args(
+            ["monitor", "--random", "100x400", "--interval", "2",
+             "--snapshots", "--series-out", "s.jsonl", self.QUERY]
+        )
+        assert args.command == "monitor"
+        assert args.interval == 2
+        assert args.snapshots
+        assert args.series_out == "s.jsonl"
+
+    def test_monitor_end_to_end(self, capsys, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        series = tmp_path / "series.csv"
+        code = main(
+            ["monitor", "--random", "100x400", "--machines", "2",
+             "--snapshots", "--prom-out", str(prom),
+             "--series-out", str(series), self.QUERY]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro monitor" in out
+        assert "stage wavefront" in out
+        assert "telemetry:" in out
+        assert "# TYPE repro_ops_total counter" in prom.read_text()
+        header = series.read_text().splitlines()[0]
+        assert header.startswith("tick,machine,")
+
+    def test_monitor_series_jsonl(self, tmp_path, capsys):
+        from repro.obs.exporters import parse_series_jsonl
+
+        series = tmp_path / "series.jsonl"
+        code = main(
+            ["monitor", "--random", "60x240", "--machines", "2",
+             "--snapshots", "--series-out", str(series), self.QUERY]
+        )
+        assert code == 0
+        meta, rows = parse_series_jsonl(series.read_text())
+        assert meta["num_machines"] == 2
+        assert rows
+
+    def test_monitor_abort_prints_flow_state(self, capsys):
+        code = main(
+            ["monitor", "--random", "200x800", "--machines", "4",
+             "--snapshots", "--timeout", "3", self.QUERY]
+        )
+        assert code == EXIT_ABORTED
+        out = capsys.readouterr().out
+        assert "query aborted: deadline of 3 ticks exceeded" in out
+        assert "flow     :" in out
+        assert "machine 0:" in out
+
+    def test_monitor_union_query(self, capsys):
+        code = main(
+            ["monitor", "--random", "60x240", "--machines", "2",
+             "--snapshots", "SELECT a, b WHERE (a)-/{1,2}/->(b)"]
+        )
+        assert code == 0
+        assert "telemetry:" in capsys.readouterr().out
+
+
+class TestBenchArgs:
+    def test_bench_args(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--tag", "ci", "--compare",
+             "BENCH_seed.json", "--threshold", "25"]
+        )
+        assert args.command == "bench"
+        assert args.quick
+        assert args.tag == "ci"
+        assert args.compare == "BENCH_seed.json"
+        assert args.threshold == 25.0
+
+
+class TestAbortFlowState:
+    def test_query_timeout_reports_flow_state(self, capsys):
+        code = main(
+            ["query", "--random", "200x800", "--machines", "4",
+             "--timeout", "2",
+             "SELECT a, b WHERE (a)-[]->(b), a.value > b.value"]
+        )
+        assert code == EXIT_ABORTED
+        out = capsys.readouterr().out
+        assert "flow     :" in out
+        assert "buffered=" in out

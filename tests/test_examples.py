@@ -32,3 +32,10 @@ class TestExamples:
         proc = run_example("memory_bounds.py")
         assert proc.returncode == 0, proc.stderr
         assert "BFT baseline peak" in proc.stdout
+
+    @pytest.mark.slow
+    def test_monitoring(self):
+        proc = run_example("monitoring.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "bounded-memory claim" in proc.stdout
+        assert "regressions vs self: 0" in proc.stdout
