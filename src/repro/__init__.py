@@ -33,6 +33,7 @@ from repro.cluster.metrics import QueryMetrics
 from repro.engine_api import Engine, available_engines
 from repro.chaos import ChaosConfig
 from repro.errors import (
+    AnalysisError,
     ClusterConfigError,
     FlowControlError,
     GraphError,
@@ -123,6 +124,7 @@ __all__ = [
     "SchedulingPolicy",
     # errors
     "ReproError",
+    "AnalysisError",
     "GraphError",
     "RemoteAccessError",
     "PgqlError",

@@ -1,0 +1,57 @@
+"""Invariant-aware static analysis for the repro codebase (`repro lint`).
+
+A self-contained, stdlib-``ast``-based rule engine that machine-checks
+the cross-cutting contracts the paper's guarantees rest on — simulator
+determinism (RPR001), zero-cost-off instrumentation (RPR002, the
+TXT1–TXT3 contract), message-protocol exhaustiveness (RPR003), plus the
+general hygiene rules RPR004/RPR005.  See ``docs/static-analysis.md``
+for the catalogue and workflow.
+
+Programmatic use::
+
+    from repro.analysis import analyze
+
+    result = analyze(["src/repro"], baseline_path="lint-baseline.json")
+    for finding in result.findings:
+        print(finding.rule, finding.path, finding.line, finding.message)
+"""
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    SCHEMA as BASELINE_SCHEMA,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.catalog import explain, render_catalog
+from repro.analysis.core import Finding, Rule, SEVERITIES, SourceModule
+from repro.analysis.report import json_report, summary_line, text_report
+from repro.analysis.rules import RULE_CLASSES, default_rules, rule_by_id
+from repro.analysis.runner import (
+    AnalysisResult,
+    BASELINE_FILENAME,
+    analyze,
+    discover_baseline,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "BASELINE_FILENAME",
+    "BASELINE_SCHEMA",
+    "BaselineEntry",
+    "Finding",
+    "RULE_CLASSES",
+    "Rule",
+    "SEVERITIES",
+    "SourceModule",
+    "analyze",
+    "default_rules",
+    "discover_baseline",
+    "explain",
+    "json_report",
+    "load_baseline",
+    "render_catalog",
+    "rule_by_id",
+    "summary_line",
+    "text_report",
+    "write_baseline",
+]

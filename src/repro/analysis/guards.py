@@ -1,0 +1,272 @@
+"""Guard-domination analysis for the zero-cost-off contract (RPR002).
+
+The runtime's observability contract (TXT1–TXT3, see ``repro.obs``) is
+that a disabled tracer/telemetry handle costs exactly one pointer
+comparison on every hot path: the handle is ``None`` and every
+instrumentation site is dominated by an ``is not None`` test on it.
+This module implements the flow-sensitive half of that check: given a
+parse tree, find every attribute *call* rooted at a tracer-ish object
+that is **not** dominated by such a guard.
+
+The analysis is syntactic but understands the guard shapes that occur in
+idiomatic Python:
+
+* ``if x is not None: x.emit(...)`` (including ``and`` conjunctions);
+* ``x.emit(...) if x is not None else None`` (ternary);
+* ``x is not None and x.emit(...)`` (short-circuit);
+* ``x is None or x.emit(...)``;
+* early exits — ``if x is None: return`` guards the rest of the block;
+* ``assert x is not None``;
+* guards on a *prefix* of the access chain: ``if self.telemetry is not
+  None: self.telemetry.sampler.flush(...)`` is fine, because a non-None
+  handle owns its sub-objects.
+
+Reassigning a guarded name (``tracer = ...``) invalidates its guard, and
+nested function/class scopes start with no guards — a closure may run
+long after the guard was checked.
+"""
+
+import ast
+
+
+def dotted_parts(node):
+    """``a.b.c`` as ``("a", "b", "c")``, or None for non-name chains."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return tuple(parts)
+    return None
+
+
+def _key(node):
+    parts = dotted_parts(node)
+    return ".".join(parts) if parts else None
+
+
+def _is_none(node):
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def positive_guards(test):
+    """Expression keys proven non-None when *test* evaluates true."""
+    guards = set()
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, op, right = test.left, test.ops[0], test.comparators[0]
+        if isinstance(op, ast.IsNot):
+            operand = left if _is_none(right) else (
+                right if _is_none(left) else None
+            )
+            key = _key(operand) if operand is not None else None
+            if key:
+                guards.add(key)
+    elif isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        for value in test.values:
+            guards |= positive_guards(value)
+    elif isinstance(test, (ast.Name, ast.Attribute)):
+        # Truthiness implies non-None.
+        key = _key(test)
+        if key:
+            guards.add(key)
+    elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        guards |= negative_guards(test.operand)
+    return guards
+
+
+def negative_guards(test):
+    """Expression keys proven non-None when *test* evaluates false."""
+    guards = set()
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, op, right = test.left, test.ops[0], test.comparators[0]
+        if isinstance(op, ast.Is):
+            operand = left if _is_none(right) else (
+                right if _is_none(left) else None
+            )
+            key = _key(operand) if operand is not None else None
+            if key:
+                guards.add(key)
+    elif isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        # The whole Or is false only if every operand is false.
+        for value in test.values:
+            guards |= negative_guards(value)
+    elif isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        guards |= positive_guards(test.operand)
+    return guards
+
+
+def _terminates(body):
+    """True when a block always leaves the enclosing block."""
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+class UnguardedCallScanner:
+    """Collect attribute calls on matching bases without a dominating
+    ``is not None`` guard.
+
+    *base_matches* is a predicate over one chain segment name (e.g.
+    ``"tracer"``); a call qualifies when any proper prefix of its access
+    chain ends in a matching segment, and is satisfied when any such
+    prefix — or a longer prefix of the chain — is guarded.
+    """
+
+    def __init__(self, base_matches):
+        self.base_matches = base_matches
+        #: Violations: (call node, full dotted chain tuple).
+        self.found = []
+
+    # -- statements ----------------------------------------------------
+    def scan_module(self, tree):
+        self.scan_body(tree.body, set())
+        return self.found
+
+    def scan_body(self, body, guarded):
+        guarded = set(guarded)
+        for stmt in body:
+            self.scan_stmt(stmt, guarded)
+
+    def scan_stmt(self, stmt, guarded):
+        if isinstance(stmt, ast.If):
+            self.scan_expr(stmt.test, guarded)
+            self.scan_body(stmt.body, guarded | positive_guards(stmt.test))
+            self.scan_body(stmt.orelse,
+                           guarded | negative_guards(stmt.test))
+            if _terminates(stmt.body) and not stmt.orelse:
+                guarded |= negative_guards(stmt.test)
+            elif stmt.orelse and _terminates(stmt.orelse) \
+                    and not _terminates(stmt.body):
+                guarded |= positive_guards(stmt.test)
+        elif isinstance(stmt, ast.Assert):
+            self.scan_expr(stmt.test, guarded)
+            guarded |= positive_guards(stmt.test)
+        elif isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            if stmt.value is not None:
+                self.scan_expr(stmt.value, guarded)
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                self._invalidate(target, guarded)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.scan_expr(stmt.iter, guarded)
+            self._invalidate(stmt.target, guarded)
+            self.scan_body(stmt.body, guarded)
+            self.scan_body(stmt.orelse, guarded)
+        elif isinstance(stmt, ast.While):
+            self.scan_expr(stmt.test, guarded)
+            self.scan_body(stmt.body,
+                           guarded | positive_guards(stmt.test))
+            self.scan_body(stmt.orelse, guarded)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.scan_expr(item.context_expr, guarded)
+                if item.optional_vars is not None:
+                    self._invalidate(item.optional_vars, guarded)
+            self.scan_body(stmt.body, guarded)
+        elif isinstance(stmt, ast.Try):
+            self.scan_body(stmt.body, guarded)
+            for handler in stmt.handlers:
+                self.scan_body(handler.body, guarded)
+            self.scan_body(stmt.orelse, guarded)
+            self.scan_body(stmt.finalbody, guarded)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Defaults/decorators evaluate in the enclosing scope now;
+            # the body runs later, when no guard still holds.
+            for default in (stmt.args.defaults
+                            + [d for d in stmt.args.kw_defaults if d]):
+                self.scan_expr(default, guarded)
+            for decorator in stmt.decorator_list:
+                self.scan_expr(decorator, guarded)
+            self.scan_body(stmt.body, set())
+        elif isinstance(stmt, ast.ClassDef):
+            for decorator in stmt.decorator_list:
+                self.scan_expr(decorator, guarded)
+            self.scan_body(stmt.body, set())
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.scan_expr(child, guarded)
+
+    def _invalidate(self, target, guarded):
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._invalidate(element, guarded)
+            return
+        key = _key(target)
+        if key is None:
+            return
+        prefix = key + "."
+        for stale in [g for g in guarded
+                      if g == key or g.startswith(prefix)]:
+            guarded.discard(stale)
+
+    # -- expressions ---------------------------------------------------
+    def scan_expr(self, node, guarded):
+        if node is None:
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node, guarded)
+            for child in ast.iter_child_nodes(node):
+                self.scan_expr(child, guarded)
+        elif isinstance(node, ast.BoolOp):
+            accumulated = set(guarded)
+            for value in node.values:
+                self.scan_expr(value, accumulated)
+                if isinstance(node.op, ast.And):
+                    accumulated |= positive_guards(value)
+                else:
+                    accumulated |= negative_guards(value)
+        elif isinstance(node, ast.IfExp):
+            self.scan_expr(node.test, guarded)
+            self.scan_expr(node.body,
+                           guarded | positive_guards(node.test))
+            self.scan_expr(node.orelse,
+                           guarded | negative_guards(node.test))
+        elif isinstance(node, ast.Lambda):
+            self.scan_expr(node.body, set())
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            element_guards = set(guarded)
+            for comp in node.generators:
+                self.scan_expr(comp.iter, element_guards)
+                for condition in comp.ifs:
+                    self.scan_expr(condition, element_guards)
+                    element_guards |= positive_guards(condition)
+            if isinstance(node, ast.DictComp):
+                self.scan_expr(node.key, element_guards)
+                self.scan_expr(node.value, element_guards)
+            else:
+                self.scan_expr(node.elt, element_guards)
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.scan_expr(child, guarded)
+                else:
+                    # keywords, slices, formatted values, ...
+                    for grandchild in ast.iter_child_nodes(child):
+                        if isinstance(grandchild, ast.expr):
+                            self.scan_expr(grandchild, guarded)
+
+    def _check_call(self, node, guarded):
+        chain = dotted_parts(node.func)
+        if chain is None or len(chain) < 2:
+            return
+        base = chain[:-1]
+        matching = [
+            length for length in range(1, len(base) + 1)
+            if self.base_matches(base[length - 1])
+        ]
+        if not matching:
+            return
+        # Satisfied when a guard covers a matching prefix or anything
+        # longer (a guard on the full base also proves the prefix).
+        shortest = min(matching)
+        for length in range(shortest, len(base) + 1):
+            if ".".join(base[:length]) in guarded:
+                return
+        self.found.append((node, chain))

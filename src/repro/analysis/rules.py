@@ -1,0 +1,462 @@
+"""The repro rule pack: invariants the paper's guarantees depend on.
+
+Each rule encodes one cross-cutting contract of this codebase (see
+``docs/static-analysis.md`` for the rendered catalogue):
+
+* **RPR001** — the simulated runtime must be wall-clock- and
+  RNG-deterministic;
+* **RPR002** — instrumentation on hot paths must follow the
+  zero-cost-off guard pattern (the TXT1–TXT3 contract);
+* **RPR003** — the message protocol must be exhaustive: every frame
+  type has a dispatch handler and a construction site;
+* **RPR004** — no mutable default arguments;
+* **RPR005** — no broad exception handlers that can swallow
+  ``QueryAborted`` or the termination protocol's control flow.
+"""
+
+import ast
+import os
+
+from repro.analysis.core import Rule, enclosing_symbols
+from repro.analysis.guards import UnguardedCallScanner, dotted_parts
+
+# ----------------------------------------------------------------------
+# RPR001 — determinism
+# ----------------------------------------------------------------------
+
+#: Calls that read ambient nondeterminism (wall clock, OS entropy).
+_NONDETERMINISTIC = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+}
+
+
+def _import_aliases(tree):
+    """Map local names to the dotted thing they import.
+
+    ``import time as t`` maps ``t -> time``; ``from random import
+    shuffle`` maps ``shuffle -> random.shuffle``.
+    """
+    aliases = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and not node.level:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    "%s.%s" % (node.module, alias.name)
+                )
+    return aliases
+
+
+class DeterminismRule(Rule):
+    """RPR001: no ambient wall-clock or unseeded randomness in the
+    simulated runtime."""
+
+    id = "RPR001"
+    title = "determinism: no wall-clock or unseeded randomness"
+    severity = "error"
+    scope = ("repro.runtime", "repro.cluster", "repro.chaos",
+             "repro.graph", "repro.workloads", "repro.bench")
+    rationale = (
+        "The paper's guarantees — deterministic query completion under a "
+        "finite memory budget — are only testable because a run is a pure "
+        "function of (graph, query, config, seed). A single `time.time()` "
+        "or module-level `random.random()` call inside the simulated "
+        "runtime makes results, tick counts, and the regression gates "
+        "unreproducible. Randomness must flow from an explicit "
+        "`random.Random(seed)` threaded from the config; wall-clock reads "
+        "are allowed only at explicitly baselined sites that never feed "
+        "back into control flow (benchmark wall-time reporting)."
+    )
+    example = (
+        "# bad: ambient entropy, differs across runs\n"
+        "delay = random.randint(0, 3)\n"
+        "started = time.time()\n"
+        "\n"
+        "# good: seeded stream threaded from config\n"
+        "rng = random.Random(config.seed)\n"
+        "delay = rng.randint(0, 3)"
+    )
+
+    def check(self, module):
+        aliases = _import_aliases(module.tree)
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_parts(node.func)
+            if chain is None:
+                continue
+            resolved = aliases.get(chain[0])
+            if resolved is None:
+                continue
+            dotted = ".".join((resolved,) + chain[1:])
+            if dotted in _NONDETERMINISTIC or dotted.startswith("secrets."):
+                yield self.finding(
+                    module, node,
+                    "nondeterministic call %s() in simulated runtime "
+                    "code" % dotted,
+                    dotted, symbols,
+                )
+            elif dotted == "random.Random" and not node.args \
+                    and not node.keywords:
+                yield self.finding(
+                    module, node,
+                    "random.Random() without a seed is nondeterministic; "
+                    "thread an explicit seed from the config",
+                    "random.Random:unseeded", symbols,
+                )
+            elif dotted.startswith("random.") and dotted != "random.Random":
+                yield self.finding(
+                    module, node,
+                    "module-level %s() draws from the shared unseeded "
+                    "RNG; use a random.Random(seed) instance" % dotted,
+                    dotted, symbols,
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR002 — zero-cost-off instrumentation
+# ----------------------------------------------------------------------
+
+#: Segment names that denote an optional observability handle.
+_TRACERISH = frozenset({"trace", "tracer", "telemetry", "sampler"})
+
+
+class ZeroCostOffRule(Rule):
+    """RPR002: tracer/telemetry calls must be dominated by an
+    ``is not None`` guard on the handle."""
+
+    id = "RPR002"
+    title = "zero-cost-off: guard tracer/telemetry calls with `is not None`"
+    severity = "error"
+    scope = ("repro.runtime", "repro.cluster")
+    rationale = (
+        "Observability must cost nothing when disabled: the runtime holds "
+        "either a tracer/telemetry object or None, and the TXT1–TXT3 "
+        "overhead benchmarks pin the disabled path to a single pointer "
+        "comparison per site. An instrumentation call not dominated by an "
+        "`is not None` guard on its handle either crashes when "
+        "observability is off (AttributeError on None) or forces the "
+        "handle to become a do-nothing object whose method calls are pure "
+        "overhead on every hot-path operation. The guard on the root "
+        "handle is the contract; sub-objects (`telemetry.sampler`, "
+        "histogram families) are owned by it."
+    )
+    example = (
+        "# bad: crashes (or costs a call) when tracing is off\n"
+        "self.trace.emit(FlowBlock(now, self.machine_id, stage, dest))\n"
+        "\n"
+        "# good: one pointer comparison when disabled\n"
+        "if self.trace is not None:\n"
+        "    self.trace.emit(FlowBlock(now, self.machine_id, stage, dest))"
+    )
+
+    @staticmethod
+    def _matches(segment):
+        return segment.lstrip("_") in _TRACERISH
+
+    def check(self, module):
+        scanner = UnguardedCallScanner(self._matches)
+        scanner.scan_module(module.tree)
+        symbols = enclosing_symbols(module.tree)
+        for node, chain in scanner.found:
+            dotted = ".".join(chain)
+            yield self.finding(
+                module, node,
+                "call %s() is not dominated by an `is not None` guard "
+                "on its tracer/telemetry handle" % dotted,
+                dotted, symbols,
+            )
+
+
+# ----------------------------------------------------------------------
+# RPR003 — protocol exhaustiveness (cross-module)
+# ----------------------------------------------------------------------
+
+class ProtocolExhaustivenessRule(Rule):
+    """RPR003: every message type is dispatched and constructed."""
+
+    id = "RPR003"
+    title = "protocol exhaustiveness: every message handled and constructed"
+    severity = "error"
+    project_wide = True
+    #: Handler modules searched next to each ``messages.py``.
+    handler_files = ("machine.py", "reliability.py")
+    rationale = (
+        "The termination protocol is a distributed wavefront: COMPLETED "
+        "notifications, acks, and quota messages must all be consumed, or "
+        "a frame silently vanishes in dispatch and the query wedges "
+        "instead of terminating — the exact failure mode the paper's "
+        "deterministic-completion guarantee rules out. This cross-module "
+        "check ties `runtime/messages.py` to the dispatchers "
+        "(`runtime/machine.py` for application traffic, "
+        "`runtime/reliability.py` for the transport frames): every public "
+        "message class must appear in an isinstance dispatch arm, and "
+        "must be constructed somewhere — a never-built frame type is dead "
+        "protocol surface that dispatch code still pays for."
+    )
+    example = (
+        "# messages.py\n"
+        "class Completed:\n"
+        "    ...\n"
+        "\n"
+        "# machine.py — every concrete frame type gets an arm\n"
+        "elif isinstance(payload, Completed):\n"
+        "    self.termination.on_completed(payload.stage, src)"
+    )
+
+    def check_project(self, modules):
+        by_dir = {}
+        for module in modules:
+            directory = os.path.dirname(module.abspath)
+            by_dir.setdefault(directory, {})[
+                os.path.basename(module.abspath)] = module
+        constructed = set()
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    chain = dotted_parts(node.func)
+                    if chain:
+                        constructed.add(chain[-1])
+        for directory, files in sorted(by_dir.items()):
+            messages = files.get("messages.py")
+            if messages is None:
+                continue
+            handlers = [
+                files[name] for name in self.handler_files if name in files
+            ]
+            if not handlers:
+                continue
+            handled = set()
+            for handler in handlers:
+                handled |= _dispatched_classes(handler.tree)
+            symbols = enclosing_symbols(messages.tree)
+            for node in messages.tree.body:
+                if not isinstance(node, ast.ClassDef) \
+                        or node.name.startswith("_"):
+                    continue
+                if node.name not in handled:
+                    yield self.finding(
+                        messages, node,
+                        "message type %s has no isinstance dispatch arm "
+                        "in %s" % (
+                            node.name,
+                            "/".join(h.path for h in handlers),
+                        ),
+                        "%s:unhandled" % node.name, symbols,
+                    )
+                if node.name not in constructed:
+                    yield self.finding(
+                        messages, node,
+                        "message type %s is never constructed — dead "
+                        "frame type" % node.name,
+                        "%s:unconstructed" % node.name, symbols,
+                        severity="warning",
+                    )
+
+
+def _dispatched_classes(tree):
+    """Class names appearing in isinstance/type-is dispatch tests."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "isinstance" and len(node.args) == 2:
+            names |= _class_names(node.args[1])
+        elif isinstance(node, ast.Compare) and len(node.ops) == 1 \
+                and isinstance(node.ops[0], (ast.Is, ast.Eq)) \
+                and isinstance(node.left, ast.Call) \
+                and isinstance(node.left.func, ast.Name) \
+                and node.left.func.id == "type":
+            names |= _class_names(node.comparators[0])
+    return names
+
+
+def _class_names(node):
+    if isinstance(node, ast.Tuple):
+        names = set()
+        for element in node.elts:
+            names |= _class_names(element)
+        return names
+    chain = dotted_parts(node)
+    return {chain[-1]} if chain else set()
+
+
+# ----------------------------------------------------------------------
+# RPR004 — mutable default arguments
+# ----------------------------------------------------------------------
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque", "defaultdict",
+                  "Counter", "OrderedDict"}
+
+
+class MutableDefaultRule(Rule):
+    """RPR004: no mutable default argument values."""
+
+    id = "RPR004"
+    title = "no mutable default arguments"
+    severity = "error"
+    rationale = (
+        "A mutable default is evaluated once at definition time and "
+        "shared by every call. In a runtime where per-query state "
+        "isolation is the whole point (each QueryMachine, plan, and "
+        "chaos plan must be independent), a shared default list or dict "
+        "leaks state between queries and produces seed-dependent "
+        "heisenbugs that the deterministic test matrix can't pin down. "
+        "Default to None and materialize inside the function."
+    )
+    example = (
+        "# bad: one shared list across every call\n"
+        "def route(self, stage, dests=[]):\n"
+        "    dests.append(stage)\n"
+        "\n"
+        "# good\n"
+        "def route(self, stage, dests=None):\n"
+        "    if dests is None:\n"
+        "        dests = []"
+    )
+
+    def check(self, module):
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            args = node.args
+            positional = args.posonlyargs + args.args
+            for arg, default in zip(positional[len(positional)
+                                               - len(args.defaults):],
+                                    args.defaults):
+                if self._mutable(default):
+                    yield self._arg_finding(module, node, arg, default,
+                                            symbols)
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+                if default is not None and self._mutable(default):
+                    yield self._arg_finding(module, node, arg, default,
+                                            symbols)
+
+    @staticmethod
+    def _mutable(node):
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _MUTABLE_CALLS)
+
+    def _arg_finding(self, module, func, arg, default, symbols):
+        name = getattr(func, "name", "<lambda>")
+        return self.finding(
+            module, default,
+            "mutable default for argument %r of %s() is shared across "
+            "calls; default to None instead" % (arg.arg, name),
+            "%s(%s)" % (name, arg.arg), symbols,
+        )
+
+
+# ----------------------------------------------------------------------
+# RPR005 — exception hygiene
+# ----------------------------------------------------------------------
+
+#: Exception names broad enough to swallow QueryAborted / control flow.
+_BROAD_EXCEPTIONS = {"Exception", "BaseException", "ReproError"}
+
+
+class ExceptionHygieneRule(Rule):
+    """RPR005: no bare/broad except that can swallow ``QueryAborted``."""
+
+    id = "RPR005"
+    title = "exception hygiene: no broad except without re-raise"
+    severity = "error"
+    rationale = (
+        "QueryAborted is control flow, not an error: it carries the "
+        "partial metrics, trace, and flow-control snapshot of a "
+        "cancelled query up through the engine, and the termination "
+        "protocol relies on it propagating. A bare `except:` or "
+        "`except Exception:` (or `except ReproError:`, its base class) "
+        "that does not re-raise can swallow an abort mid-wavefront, "
+        "turning a clean structured cancellation into a silent hang or a "
+        "half-updated machine state. Catch the narrowest exception the "
+        "call can actually raise, or re-raise after cleanup."
+    )
+    example = (
+        "# bad: also catches QueryAborted and RuntimeFault\n"
+        "try:\n"
+        "    worker.step(budget)\n"
+        "except Exception:\n"
+        "    pass\n"
+        "\n"
+        "# good: narrow catch, or re-raise after cleanup\n"
+        "try:\n"
+        "    worker.step(budget)\n"
+        "except FlowControlError:\n"
+        "    self.metrics.flow_control_blocks += 1"
+    )
+
+    def check(self, module):
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_name(node.type)
+            if broad is None:
+                continue
+            if any(isinstance(child, ast.Raise) for child in ast.walk(node)):
+                continue
+            label = "bare except" if node.type is None \
+                else "except %s" % broad
+            yield self.finding(
+                module, node,
+                "%s swallows QueryAborted and the termination "
+                "protocol's control flow without re-raising" % label,
+                label.replace(" ", ":"), symbols,
+            )
+
+    @staticmethod
+    def _broad_name(type_node):
+        """The broad class name caught by *type_node*, or None."""
+        if type_node is None:
+            return "<bare>"
+        candidates = (
+            type_node.elts if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        for candidate in candidates:
+            chain = dotted_parts(candidate)
+            if chain and chain[-1] in _BROAD_EXCEPTIONS:
+                return chain[-1]
+        return None
+
+
+#: The default rule pack, in report order.
+RULE_CLASSES = (
+    DeterminismRule,
+    ZeroCostOffRule,
+    ProtocolExhaustivenessRule,
+    MutableDefaultRule,
+    ExceptionHygieneRule,
+)
+
+
+def default_rules():
+    """Fresh instances of the full rule pack."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rule_by_id(rule_id):
+    """Look up one rule instance by id (case-insensitive)."""
+    for cls in RULE_CLASSES:
+        if cls.id.lower() == rule_id.lower():
+            return cls()
+    return None

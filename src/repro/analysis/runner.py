@@ -1,0 +1,136 @@
+"""Collect files, run the rule pack, apply suppressions and baseline."""
+
+import os
+
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.core import load_module, package_root
+from repro.analysis.rules import default_rules
+from repro.errors import AnalysisError
+
+#: Name of the auto-discovered baseline file (searched upward from the
+#: first scanned path).
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+class AnalysisResult:
+    """The outcome of one analysis run."""
+
+    __slots__ = ("findings", "suppressed", "baselined", "stale_baseline",
+                 "files_scanned")
+
+    def __init__(self, findings, suppressed, baselined, stale_baseline,
+                 files_scanned):
+        #: Findings that survived suppression and baseline filtering,
+        #: ordered by (path, line, rule).
+        self.findings = findings
+        self.suppressed = suppressed
+        self.baselined = baselined
+        #: Baseline entries that matched nothing (candidates to delete).
+        self.stale_baseline = stale_baseline
+        self.files_scanned = files_scanned
+
+    def count(self, severity):
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    def worst_severity(self):
+        if self.count("error"):
+            return "error"
+        if self.findings:
+            return "warning"
+        return None
+
+    def fails(self, fail_on):
+        """True when the run should exit non-zero under *fail_on*."""
+        if fail_on == "warning":
+            return bool(self.findings)
+        return self.count("error") > 0
+
+
+def iter_source_files(paths):
+    """Yield the ``.py`` files named by *paths* (dirs walked, sorted)."""
+    for path in paths:
+        path = os.path.abspath(path)
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__"
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            raise AnalysisError("no such file or directory: %s" % path)
+
+
+def load_modules(paths):
+    """Parse every source file under *paths* into SourceModules."""
+    modules = []
+    for abspath in iter_source_files(paths):
+        modules.append(load_module(abspath, root=package_root(abspath)))
+    return modules
+
+
+def discover_baseline(paths):
+    """Find a ``lint-baseline.json`` above the first scanned path.
+
+    Walks up from the first path (and from the current directory as a
+    fallback) so running from the repo root or from a subdirectory both
+    pick up the checked-in baseline.  Returns a path or None.
+    """
+    starts = []
+    if paths:
+        starts.append(os.path.abspath(paths[0]))
+    starts.append(os.getcwd())
+    for start in starts:
+        directory = start if os.path.isdir(start) else os.path.dirname(start)
+        while True:
+            candidate = os.path.join(directory, BASELINE_FILENAME)
+            if os.path.isfile(candidate):
+                return candidate
+            parent = os.path.dirname(directory)
+            if parent == directory:
+                break
+            directory = parent
+    return None
+
+
+def analyze(paths, rules=None, baseline_path=None):
+    """Run *rules* (default: the full pack) over *paths*.
+
+    Suppression comments are applied first, then the baseline; the
+    returned :class:`AnalysisResult` carries only live findings plus the
+    bookkeeping counts.
+    """
+    modules = load_modules(paths)
+    if rules is None:
+        rules = default_rules()
+    by_path = {module.path: module for module in modules}
+
+    raw = []
+    for rule in rules:
+        if rule.project_wide:
+            raw.extend(rule.check_project(modules))
+        else:
+            for module in modules:
+                if rule.applies(module):
+                    raw.extend(rule.check(module))
+
+    findings, suppressed = [], 0
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.suppressed(finding.rule,
+                                                    finding.line):
+            suppressed += 1
+        else:
+            findings.append(finding)
+
+    baselined, stale = 0, []
+    if baseline_path is not None:
+        entries = load_baseline(baseline_path)
+        findings, baselined, stale = apply_baseline(findings, entries)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return AnalysisResult(findings, suppressed, baselined, stale,
+                          len(modules))

@@ -19,12 +19,17 @@ Usage examples::
 
     python -m repro bench --quick --compare BENCH_seed.json --threshold 25
 
+    python -m repro lint src/repro --fail-on error --json-out lint.json
+
+    python -m repro lint --explain RPR002
+
     python -m repro analyze --random 1000x5000 pagerank --iterations 20
 
     python -m repro analyze --bsbm 500 wcc
 """
 
 import argparse
+import os
 import sys
 
 from repro.bench import EXIT_REGRESSION
@@ -38,6 +43,10 @@ from repro.runtime import PgxdAsyncEngine
 #: Exit code for a query that aborted (deadline, crash) — distinct from
 #: argparse's 2 so scripts can tell "bad usage" from "query cancelled".
 EXIT_ABORTED = 3
+
+#: Exit code for ``repro lint`` when findings meet the ``--fail-on``
+#: threshold (usage errors stay argparse's 2).
+EXIT_LINT = 1
 
 
 def build_parser():
@@ -146,6 +155,37 @@ def build_parser():
                             "past the threshold" % EXIT_REGRESSION)
     bench.add_argument("--threshold", type=float, default=25.0,
                        help="regression threshold in percent (default 25)")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the invariant-aware static analysis rule pack "
+             "(determinism, zero-cost-off, protocol exhaustiveness, ...)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to analyze "
+                           "(default: src/repro)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report format on stdout (default: text)")
+    lint.add_argument("--json-out", metavar="PATH",
+                      help="also write the JSON report to PATH "
+                           "(CI artifact)")
+    lint.add_argument("--baseline", metavar="PATH",
+                      help="baseline file of reviewed allowed findings "
+                           "(default: discover lint-baseline.json "
+                           "upward from the scanned path)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
+    lint.add_argument("--fail-on", choices=["warning", "error"],
+                      default="error",
+                      help="exit %d when findings at or above this "
+                           "severity remain (default: error)" % EXIT_LINT)
+    lint.add_argument("--write-baseline", metavar="PATH",
+                      help="write the current findings as a baseline "
+                           "(placeholder comments; review before "
+                           "checking in) and exit 0")
+    lint.add_argument("--explain", metavar="RPR00N",
+                      help="print the rule's rationale and an example "
+                           "fix, then exit")
 
     analyze = subparsers.add_parser("analyze", help="run a BSP algorithm")
     _add_graph_args(analyze)
@@ -472,6 +512,59 @@ def cmd_bench(args):
     return 0
 
 
+def cmd_lint(args):
+    from repro.analysis import (
+        analyze,
+        discover_baseline,
+        explain,
+        json_report,
+        text_report,
+        write_baseline,
+    )
+
+    if args.explain:
+        text = explain(args.explain)
+        if text is None:
+            print("unknown rule: %s (rules: RPR001..RPR005)"
+                  % args.explain)
+            return 2
+        print(text)
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        raise SystemExit(
+            "repro lint: no such path: %s (run from the repository "
+            "root, or name the paths to analyze)" % ", ".join(missing)
+        )
+
+    if args.write_baseline:
+        result = analyze(paths)
+        count = write_baseline(result.findings, args.write_baseline)
+        print("wrote %d baseline entr%s to %s — review each one and "
+              "replace the placeholder comment before checking it in"
+              % (count, "y" if count == 1 else "ies", args.write_baseline))
+        return 0
+
+    baseline_path = None
+    if not args.no_baseline:
+        baseline_path = args.baseline or discover_baseline(paths)
+    result = analyze(paths, baseline_path=baseline_path)
+
+    if args.format == "json":
+        print(json_report(result))
+    else:
+        if baseline_path is not None:
+            print("baseline : %s" % baseline_path)
+        print(text_report(result))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(json_report(result))
+            handle.write("\n")
+    return EXIT_LINT if result.fails(args.fail_on) else 0
+
+
 def cmd_analyze(args):
     from repro.analytics import (
         BspEngine,
@@ -525,6 +618,8 @@ def main(argv=None):
         return cmd_monitor(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     return cmd_analyze(args)
 
 

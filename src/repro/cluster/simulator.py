@@ -274,9 +274,8 @@ class Simulator:
             if getattr(machine, "uses_tick_hook", False)
         ]
         telemetry = self.telemetry
-        sampler = None
-        if telemetry is not None:
-            sampler = telemetry.sampler
+        sampler = telemetry.sampler if telemetry is not None else None
+        if sampler is not None:
             num_stages = getattr(
                 getattr(machines[0], "plan", None), "num_stages", 0
             )
@@ -374,8 +373,9 @@ class Simulator:
         wall = time.perf_counter() - started
         if tracer is not None:
             tracer.meta["ticks"] = self.now
-        if telemetry is not None:
+        if sampler is not None:
             sampler.flush(self.now)
+        if telemetry is not None:
             telemetry.meta["ticks"] = self.now
             telemetry.meta["wall_time_seconds"] = wall
         metrics = QueryMetrics.collect(

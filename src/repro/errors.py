@@ -118,3 +118,9 @@ class ClusterConfigError(ReproError):
 
 class TelemetryError(ReproError):
     """Invalid use of the live-telemetry metrics registry."""
+
+
+class AnalysisError(ReproError):
+    """The static analyzer (``repro lint``) was misused or hit an
+    unparseable input: bad severity, malformed baseline file, missing
+    path, or a source file with a syntax error."""
