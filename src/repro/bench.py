@@ -54,9 +54,16 @@ WORKLOADS = (
 GATED_METRICS = ("ticks", "total_ops")
 
 
-def run_workload(key, spec, seed=0):
-    """Execute one workload row; returns its result record."""
-    config = ClusterConfig(num_machines=spec["machines"], seed=seed)
+def run_workload(key, spec, seed=0, bulk_kernels=True):
+    """Execute one workload row; returns its result record.
+
+    *bulk_kernels* toggles the compiled fast path
+    (:mod:`repro.runtime.kernels`); both settings produce identical
+    deterministic metrics, so either may be gated against a baseline.
+    """
+    config = ClusterConfig(
+        num_machines=spec["machines"], seed=seed, bulk_kernels=bulk_kernels
+    )
     graph, queries = seeded_workload(
         config,
         num_vertices=spec["vertices"],
@@ -101,11 +108,18 @@ def run_workload(key, spec, seed=0):
             for slot, counters in zip(profile, result.stage_profile):
                 for name, value in counters.items():
                     slot[name] = slot.get(name, 0) + value
-    record["wall_time_seconds"] = round(time.perf_counter() - started, 4)
+    wall = time.perf_counter() - started
+    record["wall_time_seconds"] = round(wall, 4)
+    # Informational like wall time (never gated): simulated micro-ops
+    # retired per real second — the number the bulk kernels move.
+    record["throughput_ops_per_sec"] = (
+        round(record["total_ops"] / wall, 1) if wall > 0 else 0.0
+    )
     return record
 
 
-def run_bench(tag="run", quick=False, seed=0, progress=None):
+def run_bench(tag="run", quick=False, seed=0, progress=None,
+              bulk_kernels=True):
     """Run the (quick or full) matrix; returns a schema document."""
     workloads = {}
     for key, spec in WORKLOADS:
@@ -113,13 +127,18 @@ def run_bench(tag="run", quick=False, seed=0, progress=None):
             continue
         if progress is not None:
             progress("running %s ..." % key)
-        workloads[key] = run_workload(key, spec, seed=seed)
+        workloads[key] = run_workload(
+            key, spec, seed=seed, bulk_kernels=bulk_kernels
+        )
+    total_wall = sum(w["wall_time_seconds"] for w in workloads.values())
+    total_ops = sum(w["total_ops"] for w in workloads.values())
     totals = {
         "ticks": sum(w["ticks"] for w in workloads.values()),
-        "total_ops": sum(w["total_ops"] for w in workloads.values()),
+        "total_ops": total_ops,
         "rows": sum(w["rows"] for w in workloads.values()),
-        "wall_time_seconds": round(
-            sum(w["wall_time_seconds"] for w in workloads.values()), 4
+        "wall_time_seconds": round(total_wall, 4),
+        "throughput_ops_per_sec": (
+            round(total_ops / total_wall, 1) if total_wall > 0 else 0.0
         ),
     }
     return {
@@ -238,9 +257,13 @@ def compare(current, baseline, threshold=25.0):
             )
         wall_before = base.get("wall_time_seconds", 0.0)
         wall_after = cur.get("wall_time_seconds", 0.0)
+        if wall_before > 0 and wall_after > 0:
+            speedup = "  x%.2f vs baseline" % (wall_before / wall_after)
+        else:
+            speedup = ""
         lines.append(
-            "%-28s %-10s %10.3f -> %-10.3f (informational)"
-            % (key, "wall_s", wall_before, wall_after)
+            "%-28s %-10s %10.3f -> %-10.3f (informational)%s"
+            % (key, "wall_s", wall_before, wall_after, speedup)
         )
     return regressions, lines
 

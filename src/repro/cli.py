@@ -155,6 +155,13 @@ def build_parser():
                             "past the threshold" % EXIT_REGRESSION)
     bench.add_argument("--threshold", type=float, default=25.0,
                        help="regression threshold in percent (default 25)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run the matrix under cProfile and print the "
+                            "top 20 functions by cumulative time")
+    bench.add_argument("--no-bulk-kernels", action="store_true",
+                       help="disable the compiled bulk-kernel fast path "
+                            "(micro-stepped reference execution; all "
+                            "deterministic metrics are identical)")
 
     lint = subparsers.add_parser(
         "lint",
@@ -474,15 +481,35 @@ def cmd_monitor(args):
 def cmd_bench(args):
     from repro import bench
 
-    doc = bench.run_bench(tag=args.tag, quick=args.quick, seed=args.seed,
-                          progress=print)
+    bulk_kernels = not args.no_bulk_kernels
+    if args.profile:
+        # Profiling lives here (not in repro.bench): the bench module is
+        # inside the RPR001 determinism scope, where wall-clock-adjacent
+        # imports are off limits.
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        doc = bench.run_bench(tag=args.tag, quick=args.quick,
+                              seed=args.seed, progress=print,
+                              bulk_kernels=bulk_kernels)
+        profiler.disable()
+        print()
+        print("profile (top 20 by cumulative time):")
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(20)
+    else:
+        doc = bench.run_bench(tag=args.tag, quick=args.quick,
+                              seed=args.seed, progress=print,
+                              bulk_kernels=bulk_kernels)
     out = args.out or ("BENCH_%s.json" % args.tag)
     bench.write_bench(doc, out)
     print("wrote", out)
     for key, record in sorted(doc["workloads"].items()):
         print(
             "  %-28s ticks=%-7d ops=%-9d rows=%-6d peak_buf=%d/%d "
-            "wall=%.3fs"
+            "wall=%.3fs tput=%.0f ops/s"
             % (
                 key,
                 record["ticks"],
@@ -491,6 +518,7 @@ def cmd_bench(args):
                 record["peak_buffered_contexts"],
                 record["budget"],
                 record["wall_time_seconds"],
+                record.get("throughput_ops_per_sec", 0.0),
             )
         )
     if args.compare:

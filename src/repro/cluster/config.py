@@ -84,6 +84,14 @@ class ClusterConfig:
     #: the acknowledgment of every remote message instead of switching to
     #: other work (this is what asynchrony saves us from).
     blocking_remote: bool = False
+    #: Execute the non-blocking fast path through compiled per-stage
+    #: bulk kernels (``repro.runtime.kernels``): specialized per-stage
+    #: closures built at plan-finalize time that process whole CSR
+    #: adjacency runs per dispatch and pre-reserve flow-control window
+    #: capacity in batches.  Charges the identical op counts, so every
+    #: deterministic metric is bit-identical either way; False runs the
+    #: micro-stepped cursor path.  Ignored (off) under blocking_remote.
+    bulk_kernels: bool = True
     #: Intra-machine work sharing (paper §1/§3.3: computations "submitted
     #: internally to facilitate work-sharing").  Disable to reproduce the
     #: paper's own unbalanced configuration ("we have not yet implemented

@@ -30,6 +30,13 @@ class MachineMetrics:
     dup_frames_dropped: int = 0
     reordered_frames: int = 0
 
+    # Bulk-kernel fast path (runtime.kernels; zero when disabled).
+    # Purely diagnostic: kernel_ops is a subset of ops, and neither
+    # participates in any deterministic gate — the whole point of the
+    # fast path is that the gated metrics don't move.
+    kernel_batches: int = 0
+    kernel_ops: int = 0
+
     # Gauges and their high-water marks.
     cur_buffered_contexts: int = 0
     peak_buffered_contexts: int = 0
@@ -88,6 +95,9 @@ class QueryMetrics:
     retransmits: int = 0
     dup_frames_dropped: int = 0
     reordered_frames: int = 0
+    # Bulk-kernel fast path (summed across machines; zero when disabled).
+    kernel_batches: int = 0
+    kernel_ops: int = 0
     # Chaos fault injections, copied from the network by the simulator.
     messages_dropped: int = 0
     messages_duplicated: int = 0
@@ -114,6 +124,8 @@ class QueryMetrics:
             metrics.retransmits += machine.retransmits
             metrics.dup_frames_dropped += machine.dup_frames_dropped
             metrics.reordered_frames += machine.reordered_frames
+            metrics.kernel_batches += machine.kernel_batches
+            metrics.kernel_ops += machine.kernel_ops
             metrics.peak_buffered_contexts = max(
                 metrics.peak_buffered_contexts, machine.peak_buffered_contexts
             )

@@ -51,6 +51,13 @@ class PropertyGraph:
         self._vertex_props = vertex_props
         self._edge_props = edge_props
         self._label_dict = label_dict
+        # Lazily built plain-list mirrors of the CSR and label arrays,
+        # shared by every compiled bulk kernel over this graph
+        # (runtime.kernels): indexing a python list yields unboxed ints
+        # at a fraction of the per-element numpy scalar cost.
+        self._adjacency_lists = None
+        self._vertex_labels_list = None
+        self._edge_labels_list = None
 
     # ------------------------------------------------------------------
     # Basic shape
@@ -139,6 +146,27 @@ class PropertyGraph:
         right = bisect.bisect_right(run, src, lo=left)
         return [int(self._in_edge_ids[lo + i]) for i in range(left, right)]
 
+    def adjacency_lists(self):
+        """Both CSR structures as cached plain python lists.
+
+        Returns ``(out_offsets, out_dst, out_edge_ids, in_offsets,
+        in_src, in_edge_ids)``.  Built once per graph (one bulk
+        ``tolist`` per array) for the compiled bulk kernels; read-only
+        by convention.
+        """
+        lists = self._adjacency_lists
+        if lists is None:
+            lists = (
+                self._out_offsets.tolist(),
+                self._out_dst.tolist(),
+                self._out_edge_ids.tolist(),
+                self._in_offsets.tolist(),
+                self._in_src.tolist(),
+                self._in_edge_ids.tolist(),
+            )
+            self._adjacency_lists = lists
+        return lists
+
     def has_edge(self, src, dst):
         lo = int(self._out_offsets[src])
         hi = int(self._out_offsets[src + 1])
@@ -171,6 +199,26 @@ class PropertyGraph:
         if self._edge_labels is None:
             return NO_LABEL
         return int(self._edge_labels[edge])
+
+    def vertex_labels_list(self):
+        """Vertex label ids as a cached plain list (None if unlabeled)."""
+        if self._vertex_labels is None:
+            return None
+        labels = self._vertex_labels_list
+        if labels is None:
+            labels = self._vertex_labels.tolist()
+            self._vertex_labels_list = labels
+        return labels
+
+    def edge_labels_list(self):
+        """Edge label ids as a cached plain list (None if unlabeled)."""
+        if self._edge_labels is None:
+            return None
+        labels = self._edge_labels_list
+        if labels is None:
+            labels = self._edge_labels.tolist()
+            self._edge_labels_list = labels
+        return labels
 
     def vertex_label_name(self, vertex):
         label = self.vertex_label(vertex)

@@ -25,6 +25,7 @@ class Partition:
     def __init__(self, owners, num_machines):
         self._owners = owners
         self._num_machines = num_machines
+        self._owners_list = None
 
     @property
     def num_machines(self):
@@ -41,6 +42,19 @@ class Partition:
     def owners_array(self):
         """The raw owner array (read-only by convention)."""
         return self._owners
+
+    def owners_list(self):
+        """The owner array as a cached plain list (read-only).
+
+        Built once per partition; the bulk kernels index it on every
+        emitted continuation, where unboxed python ints beat per-call
+        numpy scalar conversion.
+        """
+        owners = self._owners_list
+        if owners is None:
+            owners = self._owners.tolist()
+            self._owners_list = owners
+        return owners
 
     def local_vertices(self, machine):
         """Numpy array of the vertex ids owned by *machine*."""

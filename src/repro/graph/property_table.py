@@ -21,11 +21,18 @@ _NUMPY_DTYPES = {
 class PropertyColumn:
     """A single fixed-length, typed property column."""
 
-    __slots__ = ("name", "ptype", "_values", "_codes", "_strings", "_string_ids")
+    __slots__ = ("name", "ptype", "_values", "_codes", "_strings",
+                 "_string_ids", "_values_list")
 
     def __init__(self, name, ptype, size):
         self.name = name
         self.ptype = ptype
+        #: Lazily built plain-list mirror served by :meth:`get`;
+        #: invalidated on every write.  Row reads vastly outnumber
+        #: writes (filters and captures hit ``get`` once per inspected
+        #: entity), and list indexing returns unboxed scalars without
+        #: the per-call numpy ``.item()`` round trip.
+        self._values_list = None
         if ptype is PropertyType.STRING:
             self._codes = np.zeros(size, dtype=np.int32)
             self._strings = [""]
@@ -46,13 +53,20 @@ class PropertyColumn:
 
     def get(self, index):
         """Return the property value of entity *index* as a Python scalar."""
-        if self.ptype is PropertyType.STRING:
-            return self._strings[self._codes[index]]
-        return self._values[index].item()
+        values = self._values_list
+        if values is None:
+            if self.ptype is PropertyType.STRING:
+                strings = self._strings
+                values = [strings[code] for code in self._codes.tolist()]
+            else:
+                values = self._values.tolist()
+            self._values_list = values
+        return values[index]
 
     def set(self, index, value):
         """Set the property value of entity *index* (type-checked)."""
         value = self.ptype.coerce(value)
+        self._values_list = None
         if self.ptype is PropertyType.STRING:
             code = self._string_ids.get(value)
             if code is None:

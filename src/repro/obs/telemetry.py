@@ -398,6 +398,11 @@ class Telemetry:
             "attempt number of each reliability-layer retransmission",
             buckets=(1, 2, 3, 4, 6, 8, 12, 16),
         )
+        self.kernel_batch_ops = registry.histogram(
+            "repro_kernel_batch_ops",
+            "micro-ops charged per bulk-kernel computation slice",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+        )
         # Sampled per tick by the TimeSeriesSampler.
         self.inbox_depth = registry.histogram(
             "repro_inbox_depth",

@@ -183,6 +183,7 @@ class ExecutionPlan:
         self.query = query
         self.options = options
         self.output = output
+        self._bulk_kernels = None
 
     @property
     def num_stages(self):
@@ -191,6 +192,23 @@ class ExecutionPlan:
     @property
     def root(self):
         return self.stages[0]
+
+    def bulk_kernels(self):
+        """The plan's compiled bulk kernels (built once, at first use).
+
+        Plan finalization is where per-stage specialization belongs —
+        every check a kernel compiles in (label ids, iso slots, filters,
+        captures) is fixed here.  The import is deferred so the plan
+        layer stays import-independent of the runtime package until a
+        machine actually asks for the fast path.
+        """
+        kernels = self._bulk_kernels
+        if kernels is None:
+            from repro.runtime.kernels import compile_plan_kernels
+
+            kernels = compile_plan_kernels(self)
+            self._bulk_kernels = kernels
+        return kernels
 
     def describe(self):
         """Human-readable stage listing (mirrors paper Figure 2)."""
@@ -640,3 +658,44 @@ class ContextRowEnv(EvalEnv):
     def has_prop(self, var, prop):
         tag = "vp" if var in self._vertex_vars else "ep"
         return self._layout.has((tag, var, prop))
+
+    def row_projector(self, exprs):
+        """Compile *exprs* into one ``project(ctx) -> tuple`` function.
+
+        Handles the slot-lookup expression forms (variables, ids,
+        captured properties and labels) plus literals — i.e. everything
+        whose per-row evaluation is a plain tuple index.  Returns None
+        when any expression needs the interpreted evaluator, in which
+        case the caller keeps the per-row ``evaluate`` path.
+        """
+        parts = []
+        ns = {}
+        try:
+            for n, expr in enumerate(exprs):
+                if isinstance(expr, Literal):
+                    ns["C%d" % n] = expr.value
+                    parts.append("C%d" % n)
+                    continue
+                if isinstance(expr, (VarRef, IdCall)):
+                    var = expr.name if isinstance(expr, VarRef) else expr.var
+                    tag = "v" if var in self._vertex_vars else "e"
+                    parts.append("ctx[%d]" % self._layout.slot((tag, var)))
+                    continue
+                if isinstance(expr, PropRef):
+                    tag = "vp" if expr.var in self._vertex_vars else "ep"
+                    parts.append("ctx[%d]" % self._layout.slot(
+                        (tag, expr.var, expr.prop)
+                    ))
+                    continue
+                if isinstance(expr, LabelCall):
+                    tag = "vl" if expr.var in self._vertex_vars else "el"
+                    parts.append("ctx[%d]" % self._layout.slot((tag, expr.var)))
+                    continue
+                return None
+        except (KeyError, PlanError):
+            return None  # missing slot: let the evaluator raise per-row
+        source = "def project(ctx):\n    return (%s)\n" % (
+            ", ".join(parts) + ("," if parts else "")
+        )
+        exec(compile(source, "<repro-projector>", "exec"), ns)
+        return ns["project"]

@@ -271,15 +271,7 @@ def finalize_grouped(spec, accumulator, env=None):
 def _finalize_plain(spec, raw_rows, env):
     selects = [item.expr for item in spec.select_items]
     order_items = spec.order_by
-    decorated = []
-    for ctx in raw_rows:
-        env.bind(ctx)
-        row = tuple(evaluate(expr, env) for expr in selects)
-        if order_items:
-            key = tuple(evaluate(item.expr, env) for item in order_items)
-            decorated.append((key, row))
-        else:
-            decorated.append(((), row))
+    decorated = _project_rows(selects, order_items, raw_rows, env)
     if spec.distinct:
         seen = set()
         unique = []
@@ -292,6 +284,36 @@ def _finalize_plain(spec, raw_rows, env):
     if order_items:
         _sort_decorated(decorated, order_items)
     return [row for _key, row in decorated]
+
+
+def _project_rows(selects, order_items, raw_rows, env):
+    """Project raw contexts into ``(sort_key, row)`` pairs.
+
+    Slot-only select/order lists (the common case) go through a compiled
+    projector — one tuple build per row instead of one interpreted
+    ``evaluate`` per column; anything else falls back to the evaluator.
+    Values are identical either way: the projector is just the unrolled
+    slot lookups.
+    """
+    project = env.row_projector(selects)
+    if project is not None:
+        if not order_items:
+            return [((), project(ctx)) for ctx in raw_rows]
+        key_project = env.row_projector(
+            [item.expr for item in order_items]
+        )
+        if key_project is not None:
+            return [(key_project(ctx), project(ctx)) for ctx in raw_rows]
+    decorated = []
+    for ctx in raw_rows:
+        env.bind(ctx)
+        row = tuple(evaluate(expr, env) for expr in selects)
+        if order_items:
+            key = tuple(evaluate(item.expr, env) for item in order_items)
+            decorated.append((key, row))
+        else:
+            decorated.append(((), row))
+    return decorated
 
 
 def _wrap(spec, rows):

@@ -38,6 +38,14 @@ class FlowControl:
         self._inflight = [
             [0] * num_machines for _ in range(num_stages)
         ]
+        #: reserved[n][m] — window slots pre-reserved by an in-progress
+        #: bulk kernel (runtime.kernels).  Reservations are transient:
+        #: the kernel releases them before returning, so between worker
+        #: slices this is all zeros and every legacy code path behaves
+        #: exactly as before.  Invariant: inflight + reserved <= limit.
+        self._reserved = [
+            [0] * num_machines for _ in range(num_stages)
+        ]
         #: Stages already redistributed (guards double redistribution).
         self._redistributed = [False] * num_stages
         #: Outstanding quota request per (stage, dest) to avoid spamming.
@@ -47,14 +55,61 @@ class FlowControl:
     # Window operations
     # ------------------------------------------------------------------
     def can_send(self, stage, dest):
-        return self._inflight[stage][dest] < self._limit[stage][dest]
+        return (
+            self._inflight[stage][dest] + self._reserved[stage][dest]
+            < self._limit[stage][dest]
+        )
+
+    def can_flush(self, stage, dest):
+        """A flush may proceed: on a held reservation or a free slot.
+
+        Identical to :meth:`can_send` whenever no reservation is held,
+        i.e. everywhere outside an in-progress bulk kernel.
+        """
+        return self._reserved[stage][dest] > 0 or self.can_send(stage, dest)
 
     def on_send(self, stage, dest):
+        reserved = self._reserved[stage]
+        if reserved[dest] > 0:
+            # Consume a batch reservation: admission was decided when
+            # the kernel reserved, no re-check needed.
+            reserved[dest] -= 1
+            self._inflight[stage][dest] += 1
+            return
         if not self.can_send(stage, dest):
             raise FlowControlError(
                 "send without window: stage=%d dest=%d" % (stage, dest)
             )
         self._inflight[stage][dest] += 1
+
+    # ------------------------------------------------------------------
+    # Batch admission (runtime.kernels)
+    # ------------------------------------------------------------------
+    def reserve(self, stage, dest, n):
+        """Reserve up to *n* window slots for a bulk sender.
+
+        Returns the granted count (0..n); the grant can never push
+        ``inflight + reserved`` past the (stage, dest) limit, even while
+        quota borrowing is raising or lowering that limit.
+        """
+        if n <= 0:
+            return 0
+        spare = (
+            self._limit[stage][dest] - self._inflight[stage][dest]
+            - self._reserved[stage][dest]
+        )
+        if spare <= 0:
+            return 0
+        take = n if n < spare else spare
+        self._reserved[stage][dest] += take
+        return take
+
+    def release(self, stage, dest):
+        """Return every reservation for (stage, dest) to the window."""
+        self._reserved[stage][dest] = 0
+
+    def reserved(self, stage, dest):
+        return self._reserved[stage][dest]
 
     def on_ack(self, stage, count):
         """An ack from *some* destination; the wire carries the stage only.
@@ -156,7 +211,10 @@ class FlowControl:
         """
         if not self._dynamic:
             return 0
-        spare = self._limit[stage][dest] - self._inflight[stage][dest]
+        spare = (
+            self._limit[stage][dest] - self._inflight[stage][dest]
+            - self._reserved[stage][dest]
+        )
         donation = max(0, min(spare // 2, self._limit[stage][dest] - 1))
         if donation > 0:
             self._limit[stage][dest] -= donation

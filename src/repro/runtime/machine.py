@@ -92,6 +92,15 @@ class QueryMachine:
 
         #: Outgoing bulk buffers: (stage, dest) -> list of items.
         self._outgoing = {}
+        #: The same buffers grouped by target stage, as (dest, buffer)
+        #: pairs in creation order — lets the per-step completion scan
+        #: look at one stage's buffers instead of the whole dict.
+        #: Buffer lists are emptied in place (never replaced), so the
+        #: pairs stay valid for the machine's lifetime.
+        self._outgoing_by_stage = [[] for _ in range(num_stages)]
+        #: First stage whose COMPLETED we have not sent yet (sent stages
+        #: always form a prefix; see :meth:`_attempt_completions`).
+        self._completions_from = 0
         #: Per-stage inbox of WorkMessages.
         self._inbox = [deque() for _ in range(num_stages)]
         #: Unconsumed inbox items + live frames, per stage.
@@ -111,6 +120,21 @@ class QueryMachine:
         self._local_share_cap = (
             2 * config.workers_per_machine if config.work_sharing else 0
         )
+
+        #: Flat owner list (partition knowledge is global): the bulk
+        #: kernels' O(1) routing lookup without per-call numpy boxing.
+        self.owner_list = dist_graph.partition.owners_list()
+        #: Whether any ghost vertices exist — lets kernels skip the
+        #: ghost pre-filter call entirely on ghost-free clusters (where
+        #: it is a guaranteed no-op).
+        self.ghosts_enabled = dist_graph.num_ghosts > 0
+        #: Compiled per-stage bulk kernels (runtime.kernels), or None to
+        #: run the micro-stepped cursor path.  Blocking mode always uses
+        #: cursors: ABL4 is precisely about per-message synchrony.
+        if config.bulk_kernels and not config.blocking_remote:
+            self.kernels = plan.bulk_kernels()
+        else:
+            self.kernels = None
 
         self._workers = [
             Worker(self, index) for index in range(config.workers_per_machine)
@@ -221,7 +245,11 @@ class QueryMachine:
             if self.telemetry is not None:
                 payload.arrived_at = self.api.now
             self._inbox[payload.stage].append(payload)
-            weight = sum(_item_weight(item) for item in payload.items)
+            items = payload.items
+            weight = len(items)
+            for item in items:
+                if isinstance(item, CNItem):
+                    weight += len(item) - 1
             self.stage_load[payload.stage] += len(payload.items)
             self.metrics.buffered_delta(weight)
             if self.config.blocking_remote:
@@ -422,16 +450,19 @@ class QueryMachine:
         if buffer is None:
             buffer = []
             self._outgoing[key] = buffer
+            self._outgoing_by_stage[stage].append((dest, buffer))
         return buffer
 
     def can_enqueue(self, stage, dest):
-        buffer = self._buffer(stage, dest)
-        if len(buffer) < self.config.bulk_message_size:
+        buffer = self._outgoing.get((stage, dest))
+        if buffer is None or len(buffer) < self.config.bulk_message_size:
             return True
         return self.flow.can_send(stage, dest)
 
     def _enqueue(self, stage, dest, item):
-        buffer = self._buffer(stage, dest)
+        buffer = self._outgoing.get((stage, dest))
+        if buffer is None:
+            buffer = self._buffer(stage, dest)
         bulk = self.config.bulk_message_size
         if len(buffer) >= bulk and not self._flush(stage, dest):
             return False
@@ -441,14 +472,66 @@ class QueryMachine:
             self._flush(stage, dest)  # opportunistic; failure is fine
         return True
 
+    def reserve_items(self, stage, dest, want):
+        """Batch admission for a bulk kernel: how many *items* it may
+        emit to (stage, dest) without per-item admission checks.
+
+        Capacity is the free room in the outgoing buffer plus freshly
+        reserved flow-control slots (``bulk_message_size`` items each).
+        A full buffer is flushed here on a reserved slot so the kernel's
+        append-then-flush loop never overfills it.  Returns 0 when no
+        capacity is available — the kernel then falls back to
+        :meth:`route`, which refuses at exactly the same item the
+        micro-stepped cursor would.
+        """
+        buffer = self._outgoing.get((stage, dest))
+        if buffer is None:
+            buffer = self._buffer(stage, dest)
+        bulk = self.config.bulk_message_size
+        room = bulk - len(buffer)
+        if room >= want:
+            return want
+        slots = self.flow.reserve(
+            stage, dest, (want - room + bulk - 1) // bulk
+        )
+        if slots == 0:
+            return room if room > 0 else 0
+        if room <= 0:
+            self._flush(stage, dest)  # guaranteed by the reservation
+        return room + slots * bulk
+
+    def end_batch(self, stage, resv):
+        """Release a kernel's leftover reservations (every kernel exit).
+
+        *resv* is the kernel's per-destination remaining-item map; the
+        flow-control slots behind it go back to the window, so between
+        worker slices reservations are always zero and ``can_send`` /
+        ``can_enqueue`` behave exactly as on the cursor path.
+        """
+        if resv:
+            flow = self.flow
+            for dest in resv:
+                flow.release(stage, dest)
+            resv.clear()
+
     def _flush(self, stage, dest):
-        buffer = self._buffer(stage, dest)
+        return self._flush_buffer(
+            stage, dest, self._outgoing.get((stage, dest))
+        )
+
+    def _flush_buffer(self, stage, dest, buffer):
+        """:meth:`_flush` with the buffer already in hand (hot paths —
+        bulk kernels and the per-stage registry scans — skip the dict
+        lookup)."""
         if not buffer:
             return True
-        if not self.flow.can_send(stage, dest):
+        if not self.flow.can_flush(stage, dest):
             return False
         message = WorkMessage(stage, tuple(buffer))
-        weight = sum(_item_weight(item) for item in buffer)
+        weight = len(buffer)
+        for item in buffer:
+            if isinstance(item, CNItem):
+                weight += len(item) - 1
         del buffer[:]
         self.flow.on_send(stage, dest)
         self.api.send(dest, message, size=weight)
@@ -459,19 +542,23 @@ class QueryMachine:
 
     def _outbuf_empty_for(self, stage):
         """No buffered unsent contexts targeting *stage*."""
-        for (buf_stage, _dest), buffer in self._outgoing.items():
-            if buf_stage == stage and buffer:
+        for _dest, buffer in self._outgoing_by_stage[stage]:
+            if buffer:
                 return False
         return True
 
     def idle_progress(self):
-        """Opportunistic work for an otherwise idle worker: flush buffers."""
+        """Opportunistic work for an otherwise idle worker: flush buffers.
+
+        Iterates latest stage first; within a stage, registry order is
+        the global buffer-creation order — the same sequence the old
+        stable sort over ``self._outgoing`` produced.
+        """
         ops = 0
-        for (stage, dest), buffer in sorted(
-            self._outgoing.items(), key=lambda kv: -kv[0][0]
-        ):
-            if buffer and self._flush(stage, dest):
-                ops += self.config.message_send_cost
+        for stage in range(self.plan.num_stages - 1, -1, -1):
+            for dest, buffer in self._outgoing_by_stage[stage]:
+                if buffer and self._flush_buffer(stage, dest, buffer):
+                    ops += self.config.message_send_cost
         return ops
 
     # ------------------------------------------------------------------
@@ -502,10 +589,12 @@ class QueryMachine:
     # Termination protocol
     # ------------------------------------------------------------------
     def _attempt_completions(self):
+        # Sent stages always form a prefix: marking stage n requires
+        # stage n-1 globally complete, which includes our own mark.
+        # Start at the cached first-unsent stage instead of rescanning
+        # (this runs after every worker step).
         num_stages = self.plan.num_stages
-        for stage in range(num_stages):
-            if self.termination.sent(stage):
-                continue
+        for stage in range(self._completions_from, num_stages):
             if not self.termination.predecessor_complete(stage):
                 break
             # Outgoing buffers *from* this stage target stage + 1.
@@ -515,9 +604,9 @@ class QueryMachine:
             )
             if not outbuf_empty:
                 # Try to push the stragglers out right now.
-                for (buf_stage, dest), buffer in list(self._outgoing.items()):
-                    if buf_stage == stage + 1 and buffer:
-                        self._flush(buf_stage, dest)
+                for dest, buffer in self._outgoing_by_stage[stage + 1]:
+                    if buffer:
+                        self._flush_buffer(stage + 1, dest, buffer)
                 outbuf_empty = self._outbuf_empty_for(stage + 1)
             if not self.termination.newly_completable(
                 stage, self.bootstrap_done, self.stage_load[stage],
@@ -525,6 +614,7 @@ class QueryMachine:
             ):
                 break
             self.termination.mark_sent(stage)
+            self._completions_from = stage + 1
             if self.trace is not None:
                 self.trace.emit(StageCompleted(
                     self.api.now, self.machine_id, stage

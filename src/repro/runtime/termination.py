@@ -30,6 +30,9 @@ class TerminationTracker:
         #: completed[n] = set of machines known to have completed stage n.
         self._completed = [set() for _ in range(num_stages)]
         self._sent = [False] * num_stages
+        #: Latched true by :meth:`all_complete`; completion sets only
+        #: ever grow, so once everything is complete it stays complete.
+        self._all_complete = False
 
     # ------------------------------------------------------------------
     def on_completed(self, stage, machine):
@@ -52,9 +55,14 @@ class TerminationTracker:
         return self.stage_globally_complete(stage - 1)
 
     def all_complete(self):
-        return all(
+        if self._all_complete:
+            return True
+        if all(
             len(done) == self._num_machines for done in self._completed
-        )
+        ):
+            self._all_complete = True
+            return True
+        return False
 
     def progress_summary(self):
         """Compact per-stage completion snapshot, e.g. ``"stages

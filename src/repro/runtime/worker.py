@@ -43,7 +43,11 @@ class ScanFrame:
     def __init__(self, stage_index, base_ctx, vertices):
         self.stage_index = stage_index
         self.base_ctx = base_ctx
-        self.vertices = vertices
+        # Convert numpy vertex arrays to plain ints once per frame:
+        # the scan loop then indexes python ints directly instead of
+        # boxing one numpy scalar per element.
+        tolist = getattr(vertices, "tolist", None)
+        self.vertices = vertices if tolist is None else tolist()
         self.pos = 0
 
 
@@ -104,7 +108,15 @@ def run_computation(rt, comp, budget):
     Returns ``(ops_used, RunStatus)``.  The computation only reports
     DONE once its stack is empty and, for message computations, every
     item has been consumed — at which point the ack has been sent.
+
+    With bulk kernels enabled (``ClusterConfig.bulk_kernels``, the
+    default outside blocking mode) execution delegates to the compiled
+    fast path, which charges identical op counts at identical points;
+    the loop below is the reference micro-stepped semantics.
     """
+    kernels = rt.kernels
+    if kernels is not None:
+        return kernels.run(rt, comp, budget)
     ops = 0
     while True:
         if not comp.stack:
@@ -131,7 +143,7 @@ def run_computation(rt, comp, budget):
         if isinstance(frame, ScanFrame):
             ops += 1
             if frame.pos < len(frame.vertices):
-                vertex = int(frame.vertices[frame.pos])
+                vertex = frame.vertices[frame.pos]
                 frame.pos += 1
                 child = StageFrame(
                     frame.stage_index, frame.base_ctx + (vertex,), vertex
@@ -246,7 +258,7 @@ class Worker:
 
         used = 0
         while used < effective:
-            if rt.sync_wait_flagged():
+            if rt._sync_wait is not None:
                 break  # blocking mode: stop right after a remote send
             progressed = self._dowork_once(effective - used, paid + used)
             if progressed == 0:
@@ -271,9 +283,21 @@ class Worker:
         in the current tick; only used to place trace spans sub-tick.
         """
         rt = self.rt
-        for stage_index in range(rt.plan.num_stages - 1, -1, -1):
-            comp = self.slots[stage_index]
+        slots = self.slots
+        inbox = rt._inbox
+        local_inbox = rt._local_inbox
+        for stage_index in range(len(slots) - 1, -1, -1):
+            comp = slots[stage_index]
             if comp is None:
+                # Cheap pre-check before _acquire: the DOWORK scan visits
+                # every stage per call, and on most visits all three work
+                # sources are empty.
+                if (
+                    not inbox[stage_index]
+                    and not local_inbox[stage_index]
+                    and (stage_index != 0 or not rt._bootstrap_chunks)
+                ):
+                    continue
                 comp = self._acquire(stage_index)
                 if comp is None:
                     continue

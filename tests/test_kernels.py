@@ -1,0 +1,170 @@
+"""Bulk-kernel fast path: cost parity and batch reservations.
+
+The compiled kernels (:mod:`repro.runtime.kernels`) are a pure
+performance layer: every deterministic quantity — result rows, ticks,
+total micro-ops, visits/passes, the stage profile — must be bit-identical
+to the micro-stepped reference path.  These tests run the full benchmark
+matrix (and a chaos-injected run) both ways and diff everything, then
+property-test the batch reservation API that lets kernels pre-admit
+whole remote batches without breaking the flow-control memory bound.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ClusterConfig, run_query, uniform_random_graph
+from repro.bench import WORKLOADS, run_workload
+from repro.chaos import profile
+from repro.runtime.flow_control import FlowControl
+
+#: Per-run measurements that legitimately differ between the two paths.
+_NONDETERMINISTIC = ("wall_time_seconds", "throughput_ops_per_sec")
+
+
+def _deterministic(record):
+    return {
+        key: value
+        for key, value in record.items()
+        if key not in _NONDETERMINISTIC
+    }
+
+
+class TestDifferentialParity:
+    """Kernels on vs. off over every benchmark workload."""
+
+    @pytest.mark.parametrize(
+        "key,spec", WORKLOADS, ids=[key for key, _ in WORKLOADS]
+    )
+    def test_workload_metrics_identical(self, key, spec):
+        bulk = _deterministic(run_workload(key, spec, bulk_kernels=True))
+        micro = _deterministic(run_workload(key, spec, bulk_kernels=False))
+        assert bulk == micro
+
+    def test_result_rows_identical(self):
+        graph = uniform_random_graph(200, 1_000, seed=13, num_types=4)
+        query = "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c), a.type = 1"
+        results = {}
+        for bulk_kernels in (True, False):
+            config = ClusterConfig(num_machines=4, bulk_kernels=bulk_kernels)
+            results[bulk_kernels] = run_query(graph, query, config)
+        assert results[True].rows == results[False].rows
+        assert results[True].metrics.ticks == results[False].metrics.ticks
+        assert (
+            results[True].metrics.total_ops
+            == results[False].metrics.total_ops
+        )
+        assert results[True].stage_profile == results[False].stage_profile
+
+    def test_fast_path_actually_engaged(self):
+        graph = uniform_random_graph(100, 500, seed=5, num_types=3)
+        query = "SELECT a, b WHERE (a)-[]->(b)"
+        on = run_query(graph, query, ClusterConfig(num_machines=2))
+        off = run_query(
+            graph, query, ClusterConfig(num_machines=2, bulk_kernels=False)
+        )
+        assert on.metrics.kernel_batches > 0
+        assert on.metrics.kernel_ops > 0
+        assert off.metrics.kernel_batches == 0
+        assert off.metrics.kernel_ops == 0
+
+    def test_chaos_run_identical(self):
+        """Fault injection + reliability, kernels on vs. off."""
+        graph = uniform_random_graph(200, 1_200, seed=21, num_types=4)
+        query = "SELECT a, b, c WHERE (a)-[]->(b)-[]->(c), a.type = 1"
+        results = {}
+        for bulk_kernels in (True, False):
+            config = ClusterConfig(
+                num_machines=4,
+                chaos=profile("soak", seed=7),
+                reliability=True,
+                bulk_kernels=bulk_kernels,
+            )
+            results[bulk_kernels] = run_query(graph, query, config)
+        on, off = results[True], results[False]
+        assert on.rows == off.rows
+        assert on.metrics.ticks == off.metrics.ticks
+        assert on.metrics.total_ops == off.metrics.total_ops
+        assert on.stage_profile == off.stage_profile
+
+
+# ----------------------------------------------------------------------
+# Batch reservation property test
+# ----------------------------------------------------------------------
+_STAGES = 3
+_MACHINES = 3
+_WINDOW = 2
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            ["reserve", "release", "send", "ack", "grant", "donate",
+             "redistribute"]
+        ),
+        st.integers(min_value=0, max_value=_STAGES - 1),
+        st.integers(min_value=1, max_value=_MACHINES - 1),
+        st.integers(min_value=1, max_value=8),
+    ),
+    max_size=60,
+)
+
+
+class TestReservationInvariant:
+    @settings(max_examples=200, deadline=None)
+    @given(_ops)
+    def test_reserve_never_exceeds_window(self, ops):
+        """inflight + reserved <= limit after every operation, even while
+        quota borrowing (grants/donations) and stage redistribution are
+        resizing the per-(stage, dest) limits underneath the kernel."""
+        flow = FlowControl(_STAGES, _MACHINES, 0, _WINDOW, dynamic=True)
+        for name, stage, dest, amount in ops:
+            if name == "reserve":
+                granted = flow.reserve(stage, dest, amount)
+                assert 0 <= granted <= amount
+            elif name == "release":
+                flow.release(stage, dest)
+            elif name == "send":
+                if flow.can_flush(stage, dest):
+                    flow.on_send(stage, dest)
+            elif name == "ack":
+                count = min(amount, flow.inflight(stage, dest))
+                if count:
+                    flow.on_ack_from(stage, dest, count)
+            elif name == "grant":
+                flow.on_quota_grant(stage, dest, amount)
+            elif name == "donate":
+                flow.donate_quota(stage, dest)
+            elif name == "redistribute":
+                # The termination protocol only redistributes a stage
+                # once it is globally complete — nothing in flight.
+                if all(
+                    flow.inflight(stage, m) == 0
+                    and flow.reserved(stage, m) == 0
+                    for m in range(_MACHINES)
+                ):
+                    flow.redistribute_completed_stage(stage)
+            for n in range(_STAGES):
+                for m in range(_MACHINES):
+                    assert (
+                        flow.inflight(n, m) + flow.reserved(n, m)
+                        <= flow.limit(n, m)
+                    ), (name, stage, dest, amount, n, m)
+
+    def test_reserve_caps_at_spare_capacity(self):
+        flow = FlowControl(2, 2, 0, 3, dynamic=True)
+        flow.on_send(0, 1)
+        assert flow.reserve(0, 1, 10) == 2  # limit 3, inflight 1
+        assert flow.reserve(0, 1, 10) == 0  # window fully spoken for
+        assert not flow.can_send(0, 1)
+        flow.release(0, 1)
+        assert flow.reserve(0, 1, 1) == 1
+
+    def test_send_consumes_reservation(self):
+        flow = FlowControl(2, 2, 0, 2, dynamic=True)
+        assert flow.reserve(0, 1, 2) == 2
+        flow.on_send(0, 1)
+        assert flow.inflight(0, 1) == 1
+        assert flow.reserved(0, 1) == 1
+        flow.on_send(0, 1)
+        assert flow.inflight(0, 1) == 2
+        assert flow.reserved(0, 1) == 0
