@@ -30,7 +30,13 @@ from repro.baselines import (
 )
 from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import QueryMetrics
-from repro.engine_api import Engine, available_engines
+from repro.context import ExecutionContext
+from repro.engine_api import (
+    Engine,
+    QueryHandle,
+    QueryStatus,
+    available_engines,
+)
 from repro.chaos import ChaosConfig
 from repro.errors import (
     AnalysisError,
@@ -92,6 +98,10 @@ __all__ = [
     "SharedMemoryEngine",
     "BftEngine",
     "JoinEngine",
+    # submit/handle surface + execution context
+    "QueryHandle",
+    "QueryStatus",
+    "ExecutionContext",
     "run_query",
     "QueryResult",
     "ResultSet",

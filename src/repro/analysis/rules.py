@@ -67,7 +67,8 @@ class DeterminismRule(Rule):
     title = "determinism: no wall-clock or unseeded randomness"
     severity = "error"
     scope = ("repro.runtime", "repro.cluster", "repro.chaos",
-             "repro.graph", "repro.workloads", "repro.bench")
+             "repro.graph", "repro.workloads", "repro.bench",
+             "repro.service")
     rationale = (
         "The paper's guarantees — deterministic query completion under a "
         "finite memory budget — are only testable because a run is a pure "

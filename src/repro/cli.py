@@ -194,6 +194,73 @@ def build_parser():
                       help="print the rule's rationale and an example "
                            "fix, then exit")
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run several PGQL queries concurrently on one shared "
+             "deployment through the multi-query service",
+    )
+    _add_graph_args(serve)
+    serve.add_argument("queries", nargs="+", metavar="PGQL",
+                       help="the PGQL query texts (each becomes one "
+                            "service scope)")
+    serve.add_argument("--slots", type=int, default=4,
+                       help="admission slots: concurrent scopes "
+                            "(default 4)")
+    serve.add_argument("--scope-window", type=int, default=None,
+                       help="per-scope flow-control window (default: "
+                            "carve the machine window evenly across "
+                            "the slots)")
+    serve.add_argument("--priority", action="append", type=int,
+                       default=[], metavar="P",
+                       help="priority for the Nth query (repeatable; "
+                            "default 1)")
+    serve.add_argument("--timeout", type=int, default=None,
+                       metavar="TICKS",
+                       help="per-query deadline in virtual ticks")
+    serve.add_argument("--cancel", action="append", default=[],
+                       metavar="N@T",
+                       help="cancel the Nth query at global tick T "
+                            "(repeatable)")
+
+    traffic = subparsers.add_parser(
+        "traffic",
+        help="drive a seeded open-loop arrival process against the "
+             "multi-query service and report latency percentiles plus "
+             "a saturation curve",
+    )
+    _add_graph_args(traffic)
+    traffic.add_argument("--arrivals", type=int, default=12,
+                         help="number of query arrivals (default 12)")
+    traffic.add_argument("--gap", type=int, default=64,
+                         help="mean interarrival gap in global ticks "
+                              "(default 64)")
+    traffic.add_argument("--slots", type=int, default=8,
+                         help="admission slots (default 8)")
+    traffic.add_argument("--scope-window", type=int, default=None,
+                         help="per-scope flow-control window")
+    traffic.add_argument("--query-edges", type=int, default=3,
+                         help="edges per generated pattern query "
+                              "(default 3)")
+    traffic.add_argument("--distinct", type=int, default=4,
+                         help="distinct generated queries cycled over "
+                              "arrivals (default 4)")
+    traffic.add_argument("--deadline", type=int, default=None,
+                         metavar="TICKS",
+                         help="per-query deadline in virtual ticks")
+    traffic.add_argument("--sweep", metavar="G1,G2,...",
+                         help="also sweep these interarrival gaps and "
+                              "print the saturation curve")
+    traffic.add_argument("--chaos", metavar="PROFILE", default=None,
+                         choices=sorted(PROFILES),
+                         help="run the shared deployment under this "
+                              "fault profile with the reliability "
+                              "layer enabled (service soak)")
+    traffic.add_argument("--verify-serial", action="store_true",
+                         help="re-run the arrivals one at a time with "
+                              "the same scoped budgets and require "
+                              "row- and metric-identical per-query "
+                              "outcomes (exit 1 on mismatch)")
+
     analyze = subparsers.add_parser("analyze", help="run a BSP algorithm")
     _add_graph_args(analyze)
     analyze.add_argument(
@@ -294,6 +361,14 @@ def _print_abort(aborted):
     if aborted.detail:
         print("detail   :", aborted.detail)
     if getattr(aborted, "flow_state", None):
+        # Scope-aware rendering: under the multi-query service the
+        # snapshot covers every co-tenant, each entry tagged with its
+        # query_id — so a timeout names who held the budget, not just
+        # the global occupancy gauges.
+        scoped = any(
+            entry.get("query_id") is not None
+            for entry in aborted.flow_state
+        )
         print("flow     :")
         for entry in aborted.flow_state:
             windows = ",".join(
@@ -302,9 +377,13 @@ def _print_abort(aborted):
                     entry["occupancy"].items()
                 )
             )
+            scope = ""
+            if scoped:
+                scope = "[%s] " % (entry.get("query_id") or "-")
             print(
-                "  machine %d: buffered=%d frames=%d inflight=%d%s"
+                "  %smachine %d: buffered=%d frames=%d inflight=%d%s"
                 % (
+                    scope,
                     entry["machine"],
                     entry["buffered_contexts"],
                     entry["live_frames"],
@@ -593,6 +672,189 @@ def cmd_lint(args):
     return EXIT_LINT if result.fails(args.fail_on) else 0
 
 
+def _build_cluster_engine(args, **config_overrides):
+    """Engine setup for the service subcommands (no planner options)."""
+    graph = load_graph(args)
+    config = ClusterConfig(num_machines=args.machines,
+                           workers_per_machine=args.workers,
+                           seed=args.seed,
+                           **config_overrides)
+    if args.ghost_threshold is not None:
+        from repro.graph import DistributedGraph
+
+        graph = DistributedGraph.create(
+            graph, config.num_machines,
+            ghost_threshold=args.ghost_threshold,
+        )
+    return PgxdAsyncEngine(graph, config)
+
+
+def _parse_cancel(spec):
+    """Parse an ``N@T`` cancellation spec into (query index, tick)."""
+    try:
+        index, tick = spec.split("@")
+        return int(index), int(tick)
+    except ValueError:
+        raise SystemExit("--cancel expects N@T, e.g. 1@500")
+
+
+def cmd_serve(args):
+    from repro.service import QueryService, ServiceConfig
+
+    engine = _build_cluster_engine(args)
+    service = QueryService(engine, ServiceConfig(
+        max_concurrent=args.slots,
+        scope_window=args.scope_window,
+        telemetry=True,
+    ))
+    handles = []
+    for index, pgql in enumerate(args.queries):
+        priority = (
+            args.priority[index] if index < len(args.priority) else 1
+        )
+        handles.append(service.submit(
+            pgql, priority=priority, deadline=args.timeout
+        ))
+    cancels = sorted(
+        (_parse_cancel(spec) for spec in args.cancel),
+        key=lambda pair: pair[1],
+    )
+    pending_cancels = list(cancels)
+    while True:
+        while pending_cancels and pending_cancels[0][1] <= service.now:
+            index, _tick = pending_cancels.pop(0)
+            if index >= len(handles):
+                raise SystemExit(
+                    "--cancel index %d out of range (%d queries)"
+                    % (index, len(handles))
+                )
+            handles[index].cancel()
+        if not service.step():
+            break
+    print("scope window :", service.scope_config.flow_control_window,
+          "(machine-wide %d across %d slots)"
+          % (engine.config.flow_control_window, args.slots))
+    print("global ticks :", service.now)
+    print("peak active  :", service.peak_active)
+    print()
+    print("%-6s %-10s %3s %8s %8s %8s %8s"
+          % ("query", "status", "pri", "wait", "latency", "vticks",
+             "rows"))
+    for record in service.stats():
+        print("%-6s %-10s %3d %8s %8s %8d %8s" % (
+            record["query_id"],
+            record["status"],
+            record["priority"],
+            record["admission_wait"] if record["admission_wait"]
+            is not None else "-",
+            record["latency"] if record["latency"] is not None else "-",
+            record["virtual_ticks"],
+            record["rows"] if record["rows"] is not None else "-",
+        ))
+    aborted = [
+        record for record in service.stats()
+        if record["status"] == "aborted"
+    ]
+    for record in aborted:
+        scope = service.scope(record["query_id"])
+        if scope.aborted is not None:
+            print()
+            print("abort [%s]:" % record["query_id"])
+            _print_abort(scope.aborted)
+    return EXIT_ABORTED if aborted else 0
+
+
+def cmd_traffic(args):
+    from repro.service import (
+        TrafficConfig,
+        run_traffic,
+        saturation_sweep,
+        verify_serial_parity,
+    )
+
+    overrides = {}
+    if args.chaos:
+        overrides["chaos"] = profile(args.chaos, seed=args.seed)
+        overrides["reliability"] = True
+    engine = _build_cluster_engine(args, **overrides)
+    traffic = TrafficConfig(
+        arrivals=args.arrivals,
+        mean_interarrival=args.gap,
+        seed=args.seed,
+        slots=args.slots,
+        scope_window=args.scope_window,
+        query_edges=args.query_edges,
+        distinct_queries=args.distinct,
+        deadline=args.deadline,
+        telemetry=True,
+    )
+
+    if args.verify_serial:
+        concurrent, serial, mismatches = verify_serial_parity(
+            engine, traffic
+        )
+        report = concurrent
+    else:
+        report = run_traffic(engine, traffic)
+
+    print("traffic  :", report.summary())
+    print("window   : scope=%d of machine-wide %d (%d slots)" % (
+        report.service.scope_config.flow_control_window,
+        engine.config.flow_control_window,
+        args.slots,
+    ))
+    if args.chaos:
+        print("chaos    : profile=%s (reliability on)" % args.chaos)
+    print()
+    print("%-6s %-10s %8s %8s %8s %8s"
+          % ("query", "status", "wait", "latency", "vticks", "rows"))
+    for record in report.records:
+        print("%-6s %-10s %8s %8s %8d %8s" % (
+            record["query_id"],
+            record["status"],
+            record["admission_wait"] if record["admission_wait"]
+            is not None else "-",
+            record["latency"] if record["latency"] is not None else "-",
+            record["virtual_ticks"],
+            record["rows"] if record["rows"] is not None else "-",
+        ))
+
+    if args.sweep:
+        try:
+            gaps = tuple(int(part) for part in args.sweep.split(","))
+        except ValueError:
+            raise SystemExit("--sweep expects G1,G2,..., e.g. 256,64,16")
+        print()
+        print("saturation curve (offered load sweep):")
+        print("%8s %10s %8s %8s %8s %12s %6s" % (
+            "gap", "completed", "p50", "p95", "p99", "done/kilotick",
+            "peak",
+        ))
+        for gap, point in saturation_sweep(engine, traffic, gaps=gaps):
+            print("%8d %10d %8s %8s %8s %12.2f %6d" % (
+                gap,
+                point.completed,
+                point.percentile(50) if point.latencies else "-",
+                point.percentile(95) if point.latencies else "-",
+                point.percentile(99) if point.latencies else "-",
+                point.throughput_per_kilotick,
+                point.peak_active,
+            ))
+
+    if args.verify_serial:
+        print()
+        if mismatches:
+            print("serial parity: MISMATCH (%d)" % len(mismatches))
+            for line in mismatches:
+                print("  " + line)
+            return 1
+        print("serial parity: OK — %d queries row- and metric-identical "
+              "to the one-at-a-time run (serial ticks=%d)"
+              % (serial.completed + serial.aborted + serial.cancelled,
+                 serial.total_ticks))
+    return 0
+
+
 def cmd_analyze(args):
     from repro.analytics import (
         BspEngine,
@@ -648,6 +910,10 @@ def main(argv=None):
         return cmd_bench(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "traffic":
+        return cmd_traffic(args)
     return cmd_analyze(args)
 
 

@@ -126,6 +126,15 @@ class Simulator:
         self.telemetry = telemetry
         #: Abort the run at this tick; the engine may override per query.
         self.deadline = config.query_deadline_ticks
+        #: Identity of the query this simulator executes, when it runs
+        #: as one scope of a multi-query service (repro.service); None
+        #: for a plain single-query run.  Stamped into flow-state
+        #: snapshots so abort diagnostics can name the tenant.
+        self.query_id = None
+        self._started = False
+        self._timer_machines = []
+        self._sampler = None
+        self._last_ops = None
 
     @property
     def num_machines(self):
@@ -177,6 +186,7 @@ class Simulator:
             metrics = getattr(machine, "metrics", None)
             entry = {
                 "machine": machine_id,
+                "query_id": self.query_id,
                 "occupancy": flow.occupancy() if flow is not None else {},
                 "inflight_total": (
                     flow.inflight_total() if flow is not None else 0
@@ -217,6 +227,18 @@ class Simulator:
             return None
         return "flow: " + " | ".join(parts)
 
+    def flow_state(self):
+        """Public form of the per-machine flow snapshot (service layer)."""
+        return self._flow_state()
+
+    def abort(self, reason):
+        """Abort the run now with a structured :class:`QueryAborted`.
+
+        Public entry point for external controllers — the multi-query
+        service uses it to cancel one tenant's scope mid-run.
+        """
+        self._abort(reason)
+
     def _abort(self, reason):
         if self.tracer is not None:
             from repro.obs.events import QueryAbortedEvent
@@ -252,136 +274,170 @@ class Simulator:
             flow_state=flow_state,
         )
 
+    def start(self):
+        """Prepare for tick-by-tick stepping (idempotent).
+
+        Splitting the run into ``start`` / ``step`` / ``finish`` lets
+        the multi-query service (``repro.service``) interleave several
+        simulators on one shared deployment, advancing each scope one
+        *virtual* tick at a time; :meth:`run` composes the same three
+        pieces for the classic single-query path, so both drive the
+        identical per-tick semantics.
+        """
+        if self._started:
+            return
+        if not self._machines:
+            raise RuntimeFault("no machines attached")
+        machines = self._machines
+        self._timer_machines = [
+            (index, machine)
+            for index, machine in enumerate(machines)
+            if getattr(machine, "uses_tick_hook", False)
+        ]
+        telemetry = self.telemetry
+        self._sampler = telemetry.sampler if telemetry is not None else None
+        if self._sampler is not None:
+            num_stages = getattr(
+                getattr(machines[0], "plan", None), "num_stages", 0
+            )
+            self._sampler.bind(machines, self._config, num_stages)
+        if self.tracer is not None:
+            self._last_ops = [machine.metrics.ops for machine in machines]
+        self._started = True
+
+    def step(self):
+        """Advance the cluster by one processed tick.
+
+        Returns True when the run is globally complete (every machine
+        finished and no messages in flight); idle stretches fast-forward
+        the clock to the next due event inside a single call.  Raises
+        :class:`~repro.errors.QueryAborted` on a crash or a passed
+        deadline, exactly like :meth:`run`.
+        """
+        config = self._config
+        machines = self._machines
+        workers = config.workers_per_machine
+        budget = config.ops_per_tick
+        tracer = self.tracer
+        telemetry = self.telemetry
+        sampler = self._sampler
+        chaos = self.chaos
+        deadline = self.deadline
+        if tracer is not None:
+            from repro.obs.events import MessageDeliver, TickSample
+
+            last_ops = self._last_ops
+        if deadline is not None and self.now >= deadline:
+            self._abort("deadline of %d ticks exceeded" % deadline)
+        if chaos is not None:
+            crashed = chaos.begin_tick(self.now)
+            if crashed is not None:
+                self._abort("machine %d crashed" % crashed)
+        for index, machine in self._timer_machines:
+            if chaos is None or not chaos.is_stalled(index, self.now):
+                machine.on_tick(self.now)
+
+        for envelope in self.network.deliver_due(self.now):
+            if tracer is not None:
+                tracer.emit(MessageDeliver(
+                    self.now, envelope.src, envelope.dst,
+                    getattr(envelope.payload, "trace_name",
+                            type(envelope.payload).__name__),
+                    getattr(envelope.payload, "stage", None),
+                ))
+            if telemetry is not None:
+                telemetry.message_latency.observe(
+                    self.now - envelope.sent_at
+                )
+            machines[envelope.dst].on_message(envelope.src, envelope.payload)
+
+        all_idle = True
+        for index, machine in enumerate(machines):
+            if chaos is not None and chaos.is_stalled(index, self.now):
+                continue  # compute frozen; the NIC above still ran
+            for worker_index in range(workers):
+                used = machine.worker_step(worker_index, budget)
+                if used:
+                    all_idle = False
+
+        if tracer is not None:
+            samples = []
+            for index, machine in enumerate(machines):
+                metrics = machine.metrics
+                flow = getattr(machine, "flow", None)
+                samples.append((
+                    metrics.ops - last_ops[index],
+                    metrics.cur_buffered_contexts,
+                    metrics.cur_live_frames,
+                    flow.inflight_total() if flow is not None else 0,
+                ))
+                last_ops[index] = metrics.ops
+            tracer.emit(TickSample(self.now, tuple(samples)))
+        if sampler is not None:
+            # End-of-tick sample: the same uses_tick_hook contract
+            # as the timers above, after all workers ran.
+            sampler.on_tick(self.now)
+
+        if all(machine.is_finished() for machine in machines):
+            if len(self.network) == 0:
+                return True
+        if all_idle:
+            # Nothing to do right now: fast-forward to the next
+            # event — a delivery, a retransmission timer, a scripted
+            # chaos transition, or the deadline itself.
+            candidates = []
+            next_delivery = self.network.next_delivery_tick()
+            if next_delivery is not None:
+                candidates.append(next_delivery)
+            for _index, machine in self._timer_machines:
+                timer = machine.next_timer_tick()
+                if timer is not None:
+                    candidates.append(timer)
+            if chaos is not None:
+                event = chaos.next_event_tick(self.now)
+                if event is not None:
+                    candidates.append(event)
+            if deadline is not None:
+                candidates.append(deadline)
+            if candidates:
+                self.now = max(self.now + 1, min(candidates))
+                return False
+            if all(machine.is_finished() for machine in machines):
+                return True
+            raise RuntimeFault(
+                "simulation deadlock at tick %d: all machines idle, "
+                "no messages in flight, not finished" % self.now
+            )
+        self.now += 1
+        if self.now > config.max_ticks:
+            raise RuntimeFault("simulation exceeded max_ticks")
+        return False
+
+    def finish(self, wall_time_seconds=0.0):
+        """Seal a completed run; returns its :class:`QueryMetrics`."""
+        if self.tracer is not None:
+            self.tracer.meta["ticks"] = self.now
+        if self._sampler is not None:
+            self._sampler.flush(self.now)
+        if self.telemetry is not None:
+            self.telemetry.meta["ticks"] = self.now
+            self.telemetry.meta["wall_time_seconds"] = wall_time_seconds
+        metrics = QueryMetrics.collect(
+            self.now,
+            [machine.metrics for machine in self._machines],
+            wall_time_seconds=wall_time_seconds,
+        )
+        self._attach_fault_counters(metrics)
+        return metrics
+
     def run(self):
         """Run to completion; returns a :class:`QueryMetrics`.
 
         Raises :class:`~repro.errors.QueryAborted` when a chaos-scripted
         machine crash fires or the query deadline passes.
         """
-        config = self._config
-        machines = self._machines
-        if not machines:
-            raise RuntimeFault("no machines attached")
         started = time.perf_counter()
-        workers = config.workers_per_machine
-        budget = config.ops_per_tick
-        tracer = self.tracer
-        chaos = self.chaos
-        deadline = self.deadline
-        timer_machines = [
-            (index, machine)
-            for index, machine in enumerate(machines)
-            if getattr(machine, "uses_tick_hook", False)
-        ]
-        telemetry = self.telemetry
-        sampler = telemetry.sampler if telemetry is not None else None
-        if sampler is not None:
-            num_stages = getattr(
-                getattr(machines[0], "plan", None), "num_stages", 0
-            )
-            sampler.bind(machines, config, num_stages)
-        if tracer is not None:
-            from repro.obs.events import MessageDeliver, TickSample
-
-            last_ops = [machine.metrics.ops for machine in machines]
-        while True:
-            if deadline is not None and self.now >= deadline:
-                self._abort("deadline of %d ticks exceeded" % deadline)
-            if chaos is not None:
-                crashed = chaos.begin_tick(self.now)
-                if crashed is not None:
-                    self._abort("machine %d crashed" % crashed)
-            for index, machine in timer_machines:
-                if chaos is None or not chaos.is_stalled(index, self.now):
-                    machine.on_tick(self.now)
-
-            for envelope in self.network.deliver_due(self.now):
-                if tracer is not None:
-                    tracer.emit(MessageDeliver(
-                        self.now, envelope.src, envelope.dst,
-                        getattr(envelope.payload, "trace_name",
-                                type(envelope.payload).__name__),
-                        getattr(envelope.payload, "stage", None),
-                    ))
-                if telemetry is not None:
-                    telemetry.message_latency.observe(
-                        self.now - envelope.sent_at
-                    )
-                machines[envelope.dst].on_message(envelope.src, envelope.payload)
-
-            all_idle = True
-            for index, machine in enumerate(machines):
-                if chaos is not None and chaos.is_stalled(index, self.now):
-                    continue  # compute frozen; the NIC above still ran
-                for worker_index in range(workers):
-                    used = machine.worker_step(worker_index, budget)
-                    if used:
-                        all_idle = False
-
-            if tracer is not None:
-                samples = []
-                for index, machine in enumerate(machines):
-                    metrics = machine.metrics
-                    flow = getattr(machine, "flow", None)
-                    samples.append((
-                        metrics.ops - last_ops[index],
-                        metrics.cur_buffered_contexts,
-                        metrics.cur_live_frames,
-                        flow.inflight_total() if flow is not None else 0,
-                    ))
-                    last_ops[index] = metrics.ops
-                tracer.emit(TickSample(self.now, tuple(samples)))
-            if sampler is not None:
-                # End-of-tick sample: the same uses_tick_hook contract
-                # as the timers above, after all workers ran.
-                sampler.on_tick(self.now)
-
-            if all(machine.is_finished() for machine in machines):
-                if len(self.network) == 0:
-                    break
-            if all_idle:
-                # Nothing to do right now: fast-forward to the next
-                # event — a delivery, a retransmission timer, a scripted
-                # chaos transition, or the deadline itself.
-                candidates = []
-                next_delivery = self.network.next_delivery_tick()
-                if next_delivery is not None:
-                    candidates.append(next_delivery)
-                for _index, machine in timer_machines:
-                    timer = machine.next_timer_tick()
-                    if timer is not None:
-                        candidates.append(timer)
-                if chaos is not None:
-                    event = chaos.next_event_tick(self.now)
-                    if event is not None:
-                        candidates.append(event)
-                if deadline is not None:
-                    candidates.append(deadline)
-                if candidates:
-                    self.now = max(self.now + 1, min(candidates))
-                    continue
-                if all(machine.is_finished() for machine in machines):
-                    break
-                raise RuntimeFault(
-                    "simulation deadlock at tick %d: all machines idle, "
-                    "no messages in flight, not finished" % self.now
-                )
-            self.now += 1
-            if self.now > config.max_ticks:
-                raise RuntimeFault("simulation exceeded max_ticks")
-
-        wall = time.perf_counter() - started
-        if tracer is not None:
-            tracer.meta["ticks"] = self.now
-        if sampler is not None:
-            sampler.flush(self.now)
-        if telemetry is not None:
-            telemetry.meta["ticks"] = self.now
-            telemetry.meta["wall_time_seconds"] = wall
-        metrics = QueryMetrics.collect(
-            self.now,
-            [machine.metrics for machine in machines],
-            wall_time_seconds=wall,
-        )
-        self._attach_fault_counters(metrics)
-        return metrics
+        self.start()
+        while not self.step():
+            pass
+        return self.finish(time.perf_counter() - started)

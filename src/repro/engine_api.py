@@ -13,7 +13,14 @@ baselines.SharedMemoryEngine`, :class:`~repro.baselines.BftEngine`,
 * ``query(query, options=None)`` accepts PGQL text or a parsed
   :class:`~repro.pgql.ast.Query` plus optional :class:`~repro.plan.
   options.PlannerOptions` and returns a :class:`~repro.runtime.engine.
-  QueryResult` with populated ``metrics``.
+  QueryResult` with populated ``metrics``;
+* ``submit(query, options=None)`` is the non-blocking surface: it
+  returns a :class:`QueryHandle` immediately, and the work happens no
+  later than the first ``handle.result()`` call.  The base class ships
+  a default :class:`SyncQueryHandle` that wraps the engine's own
+  synchronous ``query()``, so every engine conforms for free;
+  :class:`~repro.runtime.engine.PgxdAsyncEngine` overrides it to route
+  through the concurrent multi-query service (``repro.service``).
 
 An engine may reject *features* it does not implement (e.g. the join
 baseline raises :class:`~repro.errors.PlanError` for aggregates), but
@@ -22,6 +29,131 @@ conformance suite every engine must pass.
 """
 
 import abc
+import enum
+
+
+class QueryStatus(enum.Enum):
+    """Lifecycle of a submitted query (terminal: DONE/ABORTED/CANCELLED)."""
+
+    #: Admitted but not yet scheduled (or, for synchronous engines, not
+    #: yet forced by ``result()``).
+    QUEUED = "queued"
+    #: Actively executing on the cluster.
+    RUNNING = "running"
+    #: Finished; ``result()`` returns the QueryResult.
+    DONE = "done"
+    #: Terminated by deadline/crash; ``result()`` raises QueryAborted.
+    ABORTED = "aborted"
+    #: Terminated by ``cancel()``; ``result()`` raises QueryAborted.
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self):
+        return self in (QueryStatus.DONE, QueryStatus.ABORTED,
+                        QueryStatus.CANCELLED)
+
+
+class QueryHandle:
+    """A submitted query: poll its status, await or cancel its result.
+
+    The contract every implementation honors:
+
+    * ``status`` — a :class:`QueryStatus`;
+    * ``result()`` — block (drive the execution) until terminal, then
+      return the :class:`~repro.runtime.engine.QueryResult` or raise
+      the run's :class:`~repro.errors.QueryAborted`;
+    * ``cancel()`` — request termination; True when the request took
+      effect (a terminal query can no longer be cancelled);
+    * ``metrics`` — the result's metrics once DONE, the partial metrics
+      of the abort once ABORTED/CANCELLED, None before;
+    * ``query_id`` — stable identity within the submitting engine.
+    """
+
+    query_id = None
+
+    @property
+    def status(self):
+        raise NotImplementedError
+
+    @property
+    def done(self):
+        """True once the query reached a terminal status."""
+        return self.status.terminal
+
+    def result(self):
+        raise NotImplementedError
+
+    def cancel(self):
+        raise NotImplementedError
+
+    @property
+    def metrics(self):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return "%s(query_id=%r, status=%s)" % (
+            type(self).__name__, self.query_id, self.status.value,
+        )
+
+
+class SyncQueryHandle(QueryHandle):
+    """Default handle wrapping a synchronous ``engine.query()`` call.
+
+    Submission is lazy: the query runs on the first ``result()`` call,
+    so ``submit()`` itself never blocks and ``cancel()`` before the
+    first ``result()`` genuinely prevents execution.
+    """
+
+    def __init__(self, engine, query, options=None, query_id=None):
+        self._engine = engine
+        self._query = query
+        self._options = options
+        self._result = None
+        self._aborted = None
+        self._status = QueryStatus.QUEUED
+        self.query_id = query_id
+
+    @property
+    def status(self):
+        return self._status
+
+    def result(self):
+        from repro.errors import QueryAborted
+
+        if self._status is QueryStatus.CANCELLED:
+            raise self._aborted
+        if self._status is QueryStatus.ABORTED:
+            raise self._aborted
+        if self._status is QueryStatus.DONE:
+            return self._result
+        self._status = QueryStatus.RUNNING
+        try:
+            self._result = self._engine.query(self._query, self._options)
+        except QueryAborted as aborted:
+            self._status = QueryStatus.ABORTED
+            self._aborted = aborted
+            raise
+        self._status = QueryStatus.DONE
+        return self._result
+
+    def cancel(self):
+        from repro.errors import QueryAborted
+
+        if self._status is not QueryStatus.QUEUED:
+            return False
+        self._status = QueryStatus.CANCELLED
+        self._aborted = QueryAborted(
+            "cancelled by caller before execution"
+        )
+        return True
+
+    @property
+    def metrics(self):
+        if self._result is not None:
+            return self._result.metrics
+        if self._aborted is not None:
+            return self._aborted.metrics
+        return None
 
 
 class Engine(abc.ABC):
@@ -39,6 +171,39 @@ class Engine(abc.ABC):
         Returns a :class:`~repro.runtime.engine.QueryResult`; *options*
         is a :class:`~repro.plan.options.PlannerOptions` or None.
         """
+
+    def submit(self, query, options=None, priority=1, deadline=None):
+        """Submit *query* without blocking; returns a :class:`QueryHandle`.
+
+        The default implementation wraps the engine's synchronous
+        :meth:`query` in a lazy :class:`SyncQueryHandle` (*priority* and
+        *deadline* are accepted for signature compatibility; priority is
+        meaningless without a concurrent scheduler, and a deadline is
+        honored only by engines whose ``query`` enforces one).
+        """
+        return SyncQueryHandle(
+            self, query,
+            options=self._deadline_options(options, deadline),
+            query_id=self._next_query_id(),
+        )
+
+    def _deadline_options(self, options, deadline):
+        """Fold a submit-time deadline into the planner options."""
+        if deadline is None:
+            return options
+        from repro.plan import PlannerOptions
+
+        options = options or PlannerOptions()
+        if options.timeout_ticks is None:
+            from dataclasses import replace
+
+            options = replace(options, timeout_ticks=deadline)
+        return options
+
+    def _next_query_id(self):
+        seq = getattr(self, "_submit_seq", 0)
+        self._submit_seq = seq + 1
+        return "q%d" % seq
 
     def __repr__(self):
         machines = getattr(self.config, "num_machines", "?")

@@ -9,6 +9,7 @@ completion, and finalize the merged results.
 from repro.cluster.config import ClusterConfig
 from repro.cluster.metrics import QueryMetrics
 from repro.cluster.simulator import Simulator
+from repro.context import ExecutionContext
 from repro.engine_api import Engine
 from repro.errors import ClusterConfigError, QueryAborted
 from repro.graph.distributed import DistributedGraph
@@ -151,68 +152,115 @@ class PgxdAsyncEngine(Engine):
         """Compile *query* (steps i-iii) without executing it."""
         return plan_query(query, self.graph, options or PlannerOptions())
 
-    def query(self, query, options=None):
-        """Plan and execute *query*; returns a :class:`QueryResult`."""
+    def query(self, query, options=None, context=None):
+        """Plan and execute *query*; returns a :class:`QueryResult`.
+
+        *context* is an optional :class:`~repro.context.ExecutionContext`;
+        when omitted one is derived from *options* and the cluster
+        config (trace/telemetry flags, ``timeout_ticks``).
+        """
         if isinstance(query, str):
             query = parse_and_validate(query)
         if has_quantified_paths(query):
             return execute_union(query, options, self.query)
         plan = self.plan(query, options)
-        deadline = options.timeout_ticks if options is not None else None
-        return self.execute_plan(plan, tracer=self._make_tracer(options),
-                                 telemetry=self._make_telemetry(options),
-                                 deadline=deadline)
+        if context is None:
+            context = ExecutionContext.from_options(options, engine=self)
+        return self.execute_plan(plan, context)
 
-    def _make_tracer(self, options):
-        """A fresh tracer when enabled per query or per cluster, else None."""
-        if (options is not None and options.trace) or self.config.trace:
-            from repro.obs import Tracer
+    def submit(self, query, options=None, priority=1, deadline=None):
+        """Non-blocking submission through the multi-query service.
 
-            return Tracer(max_events=self.config.trace_max_events)
-        return None
+        Returns a :class:`~repro.engine_api.QueryHandle` scheduled on
+        this engine's default :class:`~repro.service.QueryService`
+        (created on first use).  Queries executed as a union of
+        quantified-path expansions fall back to the synchronous default
+        handle — they run as several plans and are not (yet) a single
+        service scope.
+        """
+        from repro.plan.paths import has_quantified_paths as _has_qp
 
-    def _make_telemetry(self, options):
-        """Fresh live telemetry when enabled per query/cluster, else None."""
-        if (options is not None and options.telemetry) \
-                or self.config.telemetry:
-            from repro.obs import Telemetry
+        parsed = parse_and_validate(query) if isinstance(query, str) \
+            else query
+        if _has_qp(parsed):
+            return super().submit(parsed, options)
+        return self.service().submit(
+            parsed, options, priority=priority, deadline=deadline
+        )
 
-            return Telemetry(interval=self.config.telemetry_interval)
-        return None
+    def service(self, service_config=None):
+        """This engine's lazily created default query service.
 
-    def execute_plan(self, plan, tracer=None, deadline=None, telemetry=None):
+        Pass *service_config* on first call to shape admission and
+        scoped budgets; later calls with a config replace the service
+        only if no queries were ever submitted to the old one.
+        """
+        from repro.service import QueryService
+
+        existing = getattr(self, "_service", None)
+        if existing is None or (
+            service_config is not None and not existing.ever_submitted
+        ):
+            self._service = QueryService(self, service_config)
+        return self._service
+
+    def execute_plan(self, plan, context=None, tracer=None, deadline=None,
+                     telemetry=None):
         """Step iv: run a compiled plan on the simulated cluster.
 
-        *deadline* (ticks) overrides ``config.query_deadline_ticks`` for
-        this execution; past it the simulator raises a structured
-        :class:`~repro.errors.QueryAborted` with partial metrics.
+        *context* carries the cross-cutting execution state (tracer,
+        telemetry, deadline, query_id); see :class:`~repro.context.
+        ExecutionContext`.  The ``tracer=`` / ``deadline=`` /
+        ``telemetry=`` keywords are deprecated shims folded into the
+        context for existing call sites.
         """
+        context = _coerce_context(context, tracer, deadline, telemetry)
+        simulator, machines = self.prepare_execution(plan, context)
+        metrics = simulator.run()
+        return self.finalize_execution(plan, machines, metrics, context)
+
+    def prepare_execution(self, plan, context, config=None):
+        """Instantiate the simulator and per-machine runtimes for *plan*.
+
+        Returns ``(simulator, machines)`` ready to run — either via
+        ``simulator.run()`` (the synchronous path) or stepped one tick
+        at a time by the multi-query service.  *config* overrides the
+        engine's cluster config (the service passes a scoped copy whose
+        flow-control window is carved from the machine-wide limit).
+        """
+        if config is None:
+            config = self.config
+        tracer = context.tracer
+        telemetry = context.telemetry
         if tracer is not None:
             tracer.meta.update(
-                num_machines=self.config.num_machines,
+                num_machines=config.num_machines,
                 num_stages=plan.num_stages,
-                workers_per_machine=self.config.workers_per_machine,
-                ops_per_tick=self.config.ops_per_tick,
+                workers_per_machine=config.workers_per_machine,
+                ops_per_tick=config.ops_per_tick,
             )
-        simulator = Simulator(self.config, tracer=tracer,
-                              telemetry=telemetry)
-        if deadline is not None:
-            simulator.deadline = deadline
+        simulator = Simulator(config, tracer=tracer, telemetry=telemetry)
+        simulator.query_id = context.query_id
+        if context.deadline is not None:
+            simulator.deadline = context.deadline
         machines = [
             QueryMachine(
                 plan,
                 self.dist_graph,
                 machine_id,
                 simulator.api_for(machine_id),
-                self.config,
+                config,
                 debug_checks=self.debug_checks,
                 tracer=tracer,
                 telemetry=telemetry,
             )
-            for machine_id in range(self.config.num_machines)
+            for machine_id in range(config.num_machines)
         ]
         simulator.attach(machines)
-        metrics = simulator.run()
+        return simulator, machines
+
+    def finalize_execution(self, plan, machines, metrics, context):
+        """Merge per-machine state into the :class:`QueryResult`."""
         stage_profile = [
             {
                 "visits": sum(m.stage_visits[i] for m in machines),
@@ -238,8 +286,28 @@ class PgxdAsyncEngine(Engine):
                 plan.query.edge_vars(),
             )
         return QueryResult(result_set, metrics, plan,
-                           stage_profile=stage_profile, trace=tracer,
-                           telemetry=telemetry)
+                           stage_profile=stage_profile,
+                           trace=context.tracer,
+                           telemetry=context.telemetry)
+
+
+def _coerce_context(context, tracer, deadline, telemetry):
+    """Fold the deprecated per-kwarg threading into one context."""
+    if context is not None and not isinstance(context, ExecutionContext):
+        raise TypeError(
+            "execute_plan expects an ExecutionContext, got %r — pass "
+            "tracer=/deadline=/telemetry= by keyword (deprecated) or "
+            "build an ExecutionContext" % (context,)
+        )
+    if context is None:
+        context = ExecutionContext()
+    if tracer is not None:
+        context = context.replace(tracer=tracer)
+    if deadline is not None:
+        context = context.replace(deadline=deadline)
+    if telemetry is not None:
+        context = context.replace(telemetry=telemetry)
+    return context
 
 
 def execute_union(query, options, run_one):
@@ -338,7 +406,12 @@ def execute_union(query, options, run_one):
                        telemetry=merged_telemetry)
 
 
-def run_query(graph, query, config=None, options=None, debug_checks=False):
-    """One-shot convenience wrapper around :class:`PgxdAsyncEngine`."""
+def run_query(graph, query, config=None, options=None, debug_checks=False,
+              context=None):
+    """One-shot convenience wrapper around :class:`PgxdAsyncEngine`.
+
+    *context* is an optional :class:`~repro.context.ExecutionContext`
+    passed through to :meth:`PgxdAsyncEngine.query`.
+    """
     engine = PgxdAsyncEngine(graph, config=config, debug_checks=debug_checks)
-    return engine.query(query, options=options)
+    return engine.query(query, options=options, context=context)

@@ -1,0 +1,41 @@
+"""Concurrent multi-query service layer (see docs/service.md).
+
+``QueryService`` schedules many queries on one shared simulated
+deployment with per-query scopes: carved flow-control budgets, private
+termination wavefronts, priorities, deadlines, and cancellation that
+never disturbs co-tenants.  ``repro.service.traffic`` drives it with a
+seeded open-loop arrival process and reports latency percentiles and
+saturation curves (``repro traffic`` on the command line).
+"""
+
+from repro.service.service import (
+    QueryScope,
+    QueryService,
+    ServiceConfig,
+    ServiceHandle,
+)
+from repro.service.traffic import (
+    TrafficConfig,
+    TrafficReport,
+    arrival_schedule,
+    percentile,
+    query_mix,
+    run_traffic,
+    saturation_sweep,
+    verify_serial_parity,
+)
+
+__all__ = [
+    "QueryService",
+    "QueryScope",
+    "ServiceConfig",
+    "ServiceHandle",
+    "TrafficConfig",
+    "TrafficReport",
+    "run_traffic",
+    "saturation_sweep",
+    "verify_serial_parity",
+    "arrival_schedule",
+    "query_mix",
+    "percentile",
+]

@@ -289,3 +289,116 @@ class TestAbortFlowState:
         out = capsys.readouterr().out
         assert "flow     :" in out
         assert "buffered=" in out
+
+
+class TestServeCommand:
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--random", "100x400", "--slots", "2",
+             "--priority", "3", "--cancel", "1@40",
+             "SELECT a WHERE (a)-[]->(b)", "SELECT x WHERE (x)-[]->(y)"]
+        )
+        assert args.command == "serve"
+        assert args.slots == 2
+        assert args.priority == [3]
+        assert args.cancel == ["1@40"]
+        assert len(args.queries) == 2
+
+    def test_serve_end_to_end(self, capsys):
+        code = main(
+            ["serve", "--random", "100x400", "--machines", "2",
+             "--slots", "2",
+             "SELECT a, b WHERE (a)-[]->(b)",
+             "SELECT a WHERE (a)-[]->(b), (b)-[]->(c)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scope window" in out
+        assert "q0" in out and "q1" in out
+        assert out.count("done") >= 2
+
+    def test_serve_cancel_one_tenant(self, capsys):
+        code = main(
+            ["serve", "--random", "100x400", "--machines", "2",
+             "--slots", "2", "--cancel", "0@5",
+             "SELECT a, b WHERE (a)-[]->(b)",
+             "SELECT a WHERE (a)-[]->(b), (b)-[]->(c)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cancelled" in out
+        assert "done" in out
+
+    def test_serve_deadline_prints_scoped_abort(self, capsys):
+        code = main(
+            ["serve", "--random", "200x800", "--machines", "2",
+             "--slots", "2", "--timeout", "10",
+             "SELECT a, b WHERE (a)-[]->(b), a.value > b.value",
+             "SELECT a WHERE (a)-[]->(b), (b)-[]->(c)"]
+        )
+        assert code == EXIT_ABORTED
+        out = capsys.readouterr().out
+        assert "abort [q0]:" in out
+        # Flow entries are tenant-tagged under the service.
+        assert "[q0] machine" in out
+
+    def test_bad_cancel_spec(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--random", "100x400", "--cancel", "zero@x",
+                  "SELECT a WHERE (a)-[]->(b)"])
+
+
+class TestTrafficCommand:
+    def test_traffic_args(self):
+        args = build_parser().parse_args(
+            ["traffic", "--random", "100x400", "--arrivals", "6",
+             "--gap", "32", "--slots", "4", "--sweep", "128,32",
+             "--chaos", "soak", "--verify-serial"]
+        )
+        assert args.command == "traffic"
+        assert args.arrivals == 6
+        assert args.gap == 32
+        assert args.sweep == "128,32"
+        assert args.chaos == "soak"
+        assert args.verify_serial
+
+    def test_traffic_end_to_end(self, capsys):
+        code = main(
+            ["traffic", "--random", "100x400", "--machines", "2",
+             "--arrivals", "5", "--gap", "24", "--slots", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arrivals=5 completed=5" in out
+        assert "latency p50=" in out
+        assert "peak_active=" in out
+
+    def test_traffic_verify_serial_gate(self, capsys):
+        code = main(
+            ["traffic", "--random", "100x400", "--machines", "2",
+             "--arrivals", "4", "--gap", "16", "--slots", "4",
+             "--verify-serial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serial parity: OK" in out
+
+    def test_traffic_sweep(self, capsys):
+        code = main(
+            ["traffic", "--random", "100x400", "--machines", "2",
+             "--arrivals", "4", "--slots", "4", "--sweep", "256,16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saturation curve" in out
+        assert "256" in out and "16" in out
+
+    def test_traffic_chaos_parity(self, capsys):
+        code = main(
+            ["traffic", "--random", "100x400", "--machines", "2",
+             "--arrivals", "3", "--gap", "24", "--slots", "2",
+             "--chaos", "soak", "--verify-serial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serial parity: OK" in out

@@ -12,6 +12,8 @@ from repro import (
     SharedMemoryEngine,
     available_engines,
 )
+from repro.engine_api import QueryHandle, QueryStatus
+from repro.errors import QueryAborted
 from repro.runtime.engine import QueryResult
 
 ALL_ENGINES = [PgxdAsyncEngine, SharedMemoryEngine, BftEngine, JoinEngine]
@@ -69,6 +71,94 @@ class TestEngineProtocol:
                           .query(query).rows)
         result = _make(cls, random_graph).query(query)
         assert sorted(result.rows) == expected
+
+
+class TestSubmit:
+    """Every engine conforms to the non-blocking submit/handle surface."""
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_submit_returns_live_handle(self, cls, random_graph):
+        handle = _make(cls, random_graph).submit(QUERY)
+        assert isinstance(handle, QueryHandle)
+        assert isinstance(handle.status, QueryStatus)
+        assert not handle.done
+        assert handle.query_id == "q0"
+        assert "q0" in repr(handle)
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_result_matches_query(self, cls, random_graph):
+        rows = sorted(_make(cls, random_graph).query(QUERY).rows)
+        handle = _make(cls, random_graph).submit(QUERY)
+        result = handle.result()
+        assert sorted(result.rows) == rows
+        assert handle.status is QueryStatus.DONE
+        assert handle.done
+        assert handle.metrics is result.metrics
+        assert handle.metrics.num_results == len(result.rows)
+        # result() is idempotent once terminal.
+        assert handle.result() is result
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_cancel_before_result(self, cls, random_graph):
+        handle = _make(cls, random_graph).submit(QUERY)
+        assert handle.cancel()
+        # The service path cancels at the next scheduling grant, the
+        # sync path immediately; terminal state is the contract.
+        with pytest.raises(QueryAborted):
+            handle.result()
+        assert handle.status is QueryStatus.CANCELLED
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_cancel_after_done_refused(self, cls, random_graph):
+        handle = _make(cls, random_graph).submit(QUERY)
+        handle.result()
+        assert not handle.cancel()
+        assert handle.status is QueryStatus.DONE
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_query_ids_are_distinct(self, cls, random_graph):
+        engine = _make(cls, random_graph)
+        first = engine.submit(QUERY)
+        second = engine.submit("SELECT a WHERE (a)-[]->(b)")
+        assert first.query_id != second.query_id
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_metrics_none_before_execution(self, cls, random_graph):
+        engine = _make(cls, random_graph)
+        # A second submission queues behind the first on the async
+        # engine's single service; either way no work ran yet.
+        engine.submit(QUERY)
+        handle = engine.submit(QUERY)
+        assert handle.metrics is None
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_quantified_paths_submit(self, cls, random_graph):
+        query = "SELECT DISTINCT a, b WHERE (a)-/{1,2}/->(b)"
+        expected = sorted(_make(cls, random_graph).query(query).rows)
+        handle = _make(cls, random_graph).submit(query)
+        assert sorted(handle.result().rows) == expected
+
+    @pytest.mark.parametrize("cls", ALL_ENGINES)
+    def test_submit_deadline_aborts(self, cls, random_graph):
+        handle = _make(cls, random_graph).submit(QUERY, deadline=1)
+        if cls is PgxdAsyncEngine:
+            with pytest.raises(QueryAborted):
+                handle.result()
+            assert handle.status is QueryStatus.ABORTED
+            assert handle.metrics is not None
+        else:
+            # The baselines have no tick-clock enforcement; the
+            # deadline is accepted but unenforced.
+            handle.result()
+            assert handle.status is QueryStatus.DONE
+
+    def test_async_submit_routes_through_service(self, random_graph):
+        engine = _make(PgxdAsyncEngine, random_graph)
+        handle = engine.submit(QUERY)
+        assert handle.status is QueryStatus.RUNNING
+        handle.result()
+        assert engine.service().scope(handle.query_id).status \
+            is QueryStatus.DONE
 
 
 class TestRegistry:
