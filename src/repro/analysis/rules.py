@@ -68,7 +68,7 @@ class DeterminismRule(Rule):
     severity = "error"
     scope = ("repro.runtime", "repro.cluster", "repro.chaos",
              "repro.graph", "repro.workloads", "repro.bench",
-             "repro.service")
+             "repro.service", "repro.stats")
     rationale = (
         "The paper's guarantees — deterministic query completion under a "
         "finite memory budget — are only testable because a run is a pure "

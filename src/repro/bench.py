@@ -23,9 +23,10 @@ import json
 import time
 
 from repro.cluster.config import ClusterConfig
-from repro.plan import PlannerOptions
+from repro.plan import PlannerOptions, SchedulingPolicy
 from repro.runtime.engine import PgxdAsyncEngine
 from repro.workloads.random_graphs import seeded_workload
+from repro.workloads.skewed import skewed_workload
 
 #: Document schema identifier; bump on incompatible layout changes.
 SCHEMA = "repro-bench/1"
@@ -47,11 +48,66 @@ WORKLOADS = (
     ("random_1000x5000_q4e4",
      dict(vertices=1000, edges=5000, queries=4, query_edges=4, machines=8,
           quick=False)),
+    # Planner pillar: the skewed music-industry workload, executed under
+    # the cost-based policy for the gated metrics with a naive
+    # appearance-order rerun recorded alongside (``naive_*`` fields plus
+    # ``planner_rows_match``) so CI can assert the planner both beats
+    # the textual order and returns bit-identical rows.
+    ("skewed_planner_300p_q4",
+     dict(kind="planner", persons=300, bands=8, songs=40, fans=900,
+          likes=600, machines=4, quick=True)),
 )
 
 #: Metrics the regression gate inspects (deterministic under a fixed
 #: seed).  ``wall_time_seconds`` is intentionally absent.
 GATED_METRICS = ("ticks", "total_ops")
+
+
+def _blank_record(num_queries):
+    return {
+        "ticks": 0,
+        "total_ops": 0,
+        "rows": 0,
+        "work_messages": 0,
+        "peak_buffered_contexts": 0,
+        "budget": 0,
+        "wall_time_seconds": 0.0,
+        "queries": num_queries,
+        "stage_profile": [],
+    }
+
+
+def _merge_result(record, result, senders, config):
+    """Fold one query's result into a workload record."""
+    metrics = result.metrics
+    record["ticks"] += metrics.ticks
+    record["total_ops"] += metrics.total_ops
+    record["rows"] += len(result.rows)
+    record["work_messages"] += metrics.work_messages
+    record["peak_buffered_contexts"] = max(
+        record["peak_buffered_contexts"], metrics.peak_buffered_contexts
+    )
+    budget = (
+        result.plan.num_stages * senders
+        * config.bulk_message_size * (config.flow_control_window + 1)
+    )
+    record["budget"] = max(record["budget"], budget)
+    if result.stage_profile:
+        profile = record["stage_profile"]
+        while len(profile) < len(result.stage_profile):
+            profile.append({"visits": 0, "passes": 0, "remote_in": 0})
+        for slot, counters in zip(profile, result.stage_profile):
+            for name, value in counters.items():
+                slot[name] = slot.get(name, 0) + value
+
+
+def _finish_record(record, wall):
+    record["wall_time_seconds"] = round(wall, 4)
+    # Informational like wall time (never gated): simulated micro-ops
+    # retired per real second — the number the bulk kernels move.
+    record["throughput_ops_per_sec"] = (
+        round(record["total_ops"] / wall, 1) if wall > 0 else 0.0
+    )
 
 
 def run_workload(key, spec, seed=0, bulk_kernels=True):
@@ -61,6 +117,9 @@ def run_workload(key, spec, seed=0, bulk_kernels=True):
     (:mod:`repro.runtime.kernels`); both settings produce identical
     deterministic metrics, so either may be gated against a baseline.
     """
+    if spec.get("kind") == "planner":
+        return run_planner_workload(key, spec, seed=seed,
+                                    bulk_kernels=bulk_kernels)
     config = ClusterConfig(
         num_machines=spec["machines"], seed=seed, bulk_kernels=bulk_kernels
     )
@@ -74,47 +133,62 @@ def run_workload(key, spec, seed=0, bulk_kernels=True):
     engine = PgxdAsyncEngine(graph, config)
     options = PlannerOptions()
     senders = config.num_machines - 1
-    record = {
-        "ticks": 0,
-        "total_ops": 0,
-        "rows": 0,
-        "work_messages": 0,
-        "peak_buffered_contexts": 0,
-        "budget": 0,
-        "wall_time_seconds": 0.0,
-        "queries": len(queries),
-        "stage_profile": [],
-    }
+    record = _blank_record(len(queries))
     started = time.perf_counter()
     for query in queries:
         result = engine.query(query, options)
-        metrics = result.metrics
-        record["ticks"] += metrics.ticks
-        record["total_ops"] += metrics.total_ops
-        record["rows"] += len(result.rows)
-        record["work_messages"] += metrics.work_messages
-        record["peak_buffered_contexts"] = max(
-            record["peak_buffered_contexts"], metrics.peak_buffered_contexts
-        )
-        budget = (
-            result.plan.num_stages * senders
-            * config.bulk_message_size * (config.flow_control_window + 1)
-        )
-        record["budget"] = max(record["budget"], budget)
-        if result.stage_profile:
-            profile = record["stage_profile"]
-            while len(profile) < len(result.stage_profile):
-                profile.append({"visits": 0, "passes": 0, "remote_in": 0})
-            for slot, counters in zip(profile, result.stage_profile):
-                for name, value in counters.items():
-                    slot[name] = slot.get(name, 0) + value
-    wall = time.perf_counter() - started
-    record["wall_time_seconds"] = round(wall, 4)
-    # Informational like wall time (never gated): simulated micro-ops
-    # retired per real second — the number the bulk kernels move.
-    record["throughput_ops_per_sec"] = (
-        round(record["total_ops"] / wall, 1) if wall > 0 else 0.0
+        _merge_result(record, result, senders, config)
+    _finish_record(record, time.perf_counter() - started)
+    return record
+
+
+def run_planner_workload(key, spec, seed=0, bulk_kernels=True):
+    """The cost-based-planner pillar: skewed workload, two plan policies.
+
+    The gated metrics (``ticks``, ``total_ops``) measure the cost-based
+    runs; the same queries are then re-run under the naive appearance
+    order and recorded as ``naive_ticks`` / ``naive_total_ops`` /
+    ``naive_work_messages``, with ``planner_rows_match`` certifying the
+    two policies returned bit-identical sorted result rows.  CI gates on
+    the deltas: the planner must win on deterministic work *and* agree
+    on every row.
+    """
+    config = ClusterConfig(
+        num_machines=spec["machines"], seed=seed, bulk_kernels=bulk_kernels
     )
+    graph, queries = skewed_workload(
+        config,
+        num_persons=spec["persons"],
+        num_bands=spec["bands"],
+        num_songs=spec["songs"],
+        fan_edges=spec["fans"],
+        likes_edges=spec["likes"],
+    )
+    engine = PgxdAsyncEngine(graph, config)
+    cost_options = PlannerOptions(scheduling=SchedulingPolicy.COST)
+    naive_options = PlannerOptions()
+    senders = config.num_machines - 1
+    record = _blank_record(len(queries))
+    started = time.perf_counter()
+    cost_rows = []
+    for query in queries:
+        result = engine.query(query, cost_options)
+        _merge_result(record, result, senders, config)
+        cost_rows.append(sorted(result.rows))
+    _finish_record(record, time.perf_counter() - started)
+    naive = {"ticks": 0, "total_ops": 0, "work_messages": 0}
+    rows_match = True
+    for query, expected in zip(queries, cost_rows):
+        baseline = engine.query(query, naive_options)
+        naive["ticks"] += baseline.metrics.ticks
+        naive["total_ops"] += baseline.metrics.total_ops
+        naive["work_messages"] += baseline.metrics.work_messages
+        if sorted(baseline.rows) != expected:
+            rows_match = False
+    record["naive_ticks"] = naive["ticks"]
+    record["naive_total_ops"] = naive["total_ops"]
+    record["naive_work_messages"] = naive["work_messages"]
+    record["planner_rows_match"] = rows_match
     return record
 
 

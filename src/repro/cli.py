@@ -17,6 +17,11 @@ Usage examples::
     python -m repro monitor --random 1000x5000 --machines 4 \\
         "SELECT a, b WHERE (a)-[]->(b)" --series-out series.jsonl
 
+    python -m repro query --bsbm 500 --plan cost --explain \\
+        "SELECT COUNT(*) WHERE (o:offer)-[:offerProduct]->(p:product)-[:producer]->(pr:producer)"
+
+    python -m repro stats --bsbm 500 --top 3
+
     python -m repro bench --quick --compare BENCH_seed.json --threshold 25
 
     python -m repro lint src/repro --fail-on error --json-out lint.json
@@ -261,6 +266,23 @@ def build_parser():
                               "row- and metric-identical per-query "
                               "outcomes (exit 1 on mismatch)")
 
+    stats = subparsers.add_parser(
+        "stats",
+        help="collect and print a graph's statistics (label counts, "
+             "degree histograms, edge fan-out, property sketches)",
+    )
+    _add_graph_args(stats)
+    stats.add_argument("--json", action="store_true",
+                       help="print the serialized statistics document "
+                            "instead of the table")
+    stats.add_argument("--top", type=int, default=5,
+                       help="fan-out triples / top values shown per "
+                            "section in table mode (default 5)")
+    stats.add_argument("--out", metavar="PATH",
+                       help="also save the graph as JSON with the "
+                            "statistics embedded (load_json re-attaches "
+                            "them without recollection)")
+
     analyze = subparsers.add_parser("analyze", help="run a BSP algorithm")
     _add_graph_args(analyze)
     analyze.add_argument(
@@ -280,10 +302,20 @@ def _add_query_args(sub):
     sub.add_argument("pgql", help="the PGQL query text")
     sub.add_argument("--semantics", default="homomorphism",
                      choices=[s.value for s in MatchSemantics])
+    sub.add_argument("--plan", default=None,
+                     choices=[p.value for p in SchedulingPolicy],
+                     help="vertex-ordering policy: appearance (query "
+                          "text order), selectivity (greedy heuristic), "
+                          "or cost (statistics-backed cost model; also "
+                          "decides the common-neighbor operator)")
     sub.add_argument("--schedule", action="store_true",
-                     help="enable selectivity-based vertex ordering")
-    sub.add_argument("--common-neighbors", action="store_true",
-                     help="enable the specialized common-neighbor hop")
+                     help="alias for --plan selectivity (kept for "
+                          "compatibility)")
+    sub.add_argument("--common-neighbors",
+                     action=argparse.BooleanOptionalAction, default=None,
+                     help="force the specialized common-neighbor hop "
+                          "on/off (default: off, except --plan cost "
+                          "where the cost model decides)")
     sub.add_argument("--timeout", type=int, default=None, metavar="TICKS",
                      help="abort the query after TICKS simulated ticks "
                           "(exit code %d, partial metrics printed)"
@@ -329,13 +361,15 @@ def _build_engine(args, trace=False, **config_overrides):
                            workers_per_machine=args.workers,
                            seed=args.seed,
                            **config_overrides)
+    if args.plan is not None:
+        scheduling = SchedulingPolicy(args.plan)
+    elif args.schedule:
+        scheduling = SchedulingPolicy.SELECTIVITY
+    else:
+        scheduling = SchedulingPolicy.APPEARANCE
     options = PlannerOptions(
         semantics=MatchSemantics(args.semantics),
-        scheduling=(
-            SchedulingPolicy.SELECTIVITY
-            if args.schedule
-            else SchedulingPolicy.APPEARANCE
-        ),
+        scheduling=scheduling,
         use_common_neighbors=args.common_neighbors,
         timeout_ticks=getattr(args, "timeout", None),
         trace=trace,
@@ -855,6 +889,22 @@ def cmd_traffic(args):
     return 0
 
 
+def cmd_stats(args):
+    graph = load_graph(args)
+    stats = graph.statistics()
+    if args.json:
+        print(stats.to_json())
+    else:
+        print(stats.table(top=args.top))
+    if args.out:
+        from repro.graph import save_json
+
+        save_json(graph, args.out, include_stats=True)
+        print()
+        print("graph + statistics written to", args.out)
+    return 0
+
+
 def cmd_analyze(args):
     from repro.analytics import (
         BspEngine,
@@ -914,6 +964,8 @@ def main(argv=None):
         return cmd_serve(args)
     if args.command == "traffic":
         return cmd_traffic(args)
+    if args.command == "stats":
+        return cmd_stats(args)
     return cmd_analyze(args)
 
 

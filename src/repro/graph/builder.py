@@ -93,10 +93,13 @@ class GraphBuilder:
             raise GraphError("set_edge_prop on unknown edge %r" % (edge,))
         self._record_prop(self._edge_prop_values, name, edge, value)
 
-    def build(self):
+    def build(self, collect_stats=False):
         """Finalize into an immutable ``PropertyGraph``.
 
         The builder is single-use; calling ``build`` twice raises.
+        With *collect_stats* the graph's statistics (``repro.stats``)
+        are collected eagerly at build time; otherwise the first
+        ``graph.statistics()`` call collects them on demand.
         """
         self._check_not_built()
         self._built = True
@@ -136,7 +139,7 @@ class GraphBuilder:
         edge_props = _materialize_table("edge", num_edges,
                                         self._edge_prop_values, out_order)
 
-        return PropertyGraph(
+        graph = PropertyGraph(
             num_vertices=num_vertices,
             out_offsets=out_offsets,
             out_dst=out_dst,
@@ -152,6 +155,9 @@ class GraphBuilder:
             edge_props=edge_props,
             label_dict=self._labels,
         )
+        if collect_stats:
+            graph.statistics()
+        return graph
 
     # ------------------------------------------------------------------
     def _record_prop(self, table, name, index, value):

@@ -14,7 +14,7 @@ import bisect
 import numpy as np
 
 from repro.errors import InvalidEdgeError, InvalidVertexError
-from repro.graph.types import NO_LABEL
+from repro.graph.types import NO_LABEL, Direction
 
 
 class PropertyGraph:
@@ -58,6 +58,9 @@ class PropertyGraph:
         self._adjacency_lists = None
         self._vertex_labels_list = None
         self._edge_labels_list = None
+        # Collected graph statistics (repro.stats), built lazily by
+        # ``statistics()`` or attached eagerly by the builder/loaders.
+        self._statistics = None
 
     # ------------------------------------------------------------------
     # Basic shape
@@ -263,12 +266,60 @@ class PropertyGraph:
         count = int(np.count_nonzero(self._vertex_labels == label_id))
         return count / self._num_vertices
 
-    def degree_stats(self):
-        """Return ``(min, max, mean)`` of the out-degree distribution."""
+    def degree_stats(self, direction=Direction.OUT):
+        """Return ``(min, max, mean)`` of one degree distribution.
+
+        *direction* selects the side: ``Direction.OUT`` (the historical
+        default) summarizes out-degrees, ``Direction.IN`` in-degrees —
+        the cost model needs both to price reverse hops.
+        """
         if self._num_vertices == 0:
             return (0, 0, 0.0)
-        degrees = np.diff(self._out_offsets)
+        offsets = (
+            self._out_offsets
+            if direction is Direction.OUT
+            else self._in_offsets
+        )
+        degrees = np.diff(offsets)
         return (int(degrees.min()), int(degrees.max()), float(degrees.mean()))
+
+    # ------------------------------------------------------------------
+    # Statistics (repro.stats collection hooks)
+    # ------------------------------------------------------------------
+    def degree_arrays(self):
+        """Return ``(out_degrees, in_degrees)`` as numpy arrays."""
+        return np.diff(self._out_offsets), np.diff(self._in_offsets)
+
+    def vertex_labels_array(self):
+        """Vertex label ids as a numpy array (None if unlabeled)."""
+        return self._vertex_labels
+
+    def edge_labels_array(self):
+        """Edge label ids as a numpy array (None if unlabeled)."""
+        return self._edge_labels
+
+    def edge_endpoint_arrays(self):
+        """Parallel ``(src, dst)`` arrays indexed by edge id."""
+        return self._edge_src, self._edge_dst
+
+    def statistics(self, refresh=False):
+        """This graph's collected :class:`~repro.stats.GraphStatistics`.
+
+        Computed on first use and cached (the graph is immutable, so the
+        statistics never go stale); *refresh* forces recollection, e.g.
+        after attaching deserialized statistics from an older snapshot.
+        """
+        stats = self._statistics
+        if stats is None or refresh:
+            from repro.stats import collect_statistics
+
+            stats = collect_statistics(self)
+            self._statistics = stats
+        return stats
+
+    def attach_statistics(self, stats):
+        """Adopt pre-collected statistics (deserialized or build-time)."""
+        self._statistics = stats
 
     def __repr__(self):
         return "PropertyGraph(vertices=%d, edges=%d)" % (

@@ -60,7 +60,12 @@ def load_json(path):
 
 
 def graph_from_dict(data):
-    """Build a graph from an in-memory dict (``vertices`` / ``edges``)."""
+    """Build a graph from an in-memory dict (``vertices`` / ``edges``).
+
+    A ``stats`` key (written by ``save_json(..., include_stats=True)``)
+    is deserialized and attached so loaded graphs keep their build-time
+    statistics without recollection.
+    """
     builder = GraphBuilder()
     for record in data.get("vertices", []):
         record = dict(record)
@@ -73,16 +78,25 @@ def graph_from_dict(data):
         dst = record.pop("dst")
         label = record.pop("label", None)
         builder.add_edge(src, dst, label=label, **record)
-    return builder.build()
+    graph = builder.build()
+    if "stats" in data:
+        from repro.stats import GraphStatistics
+
+        graph.attach_statistics(GraphStatistics.from_dict(data["stats"]))
+    return graph
 
 
-def save_json(graph, path):
-    """Write *graph* in the JSON format readable by :func:`load_json`."""
+def save_json(graph, path, include_stats=False):
+    """Write *graph* in the JSON format readable by :func:`load_json`.
+
+    With *include_stats* the graph's collected statistics travel in the
+    same document (collected first if not yet cached).
+    """
     with open(path, "w") as handle:
-        json.dump(graph_to_dict(graph), handle)
+        json.dump(graph_to_dict(graph, include_stats=include_stats), handle)
 
 
-def graph_to_dict(graph):
+def graph_to_dict(graph, include_stats=False):
     """Serialize *graph* to a plain dict."""
     vertex_prop_names = graph.vertex_properties.names()
     edge_prop_names = graph.edge_properties.names()
@@ -105,4 +119,7 @@ def graph_to_dict(graph):
         for name in edge_prop_names:
             record[name] = graph.edge_prop(name, edge)
         edges.append(record)
-    return {"vertices": vertices, "edges": edges}
+    document = {"vertices": vertices, "edges": edges}
+    if include_stats:
+        document["stats"] = graph.statistics().to_dict()
+    return document

@@ -63,6 +63,19 @@ class PropertyColumn:
             self._values_list = values
         return values[index]
 
+    def values(self):
+        """All row values as the cached plain list (read-only).
+
+        Shares the lazily built mirror that :meth:`get` serves row reads
+        from, so statistics collection (one full-column pass) costs no
+        extra materialization beyond what the first filter would pay.
+        """
+        if len(self) == 0:
+            return []
+        if self._values_list is None:
+            self.get(0)  # builds and caches the list mirror
+        return self._values_list
+
     def set(self, index, value):
         """Set the property value of entity *index* (type-checked)."""
         value = self.ptype.coerce(value)

@@ -34,6 +34,14 @@ from repro.plan.logical import (
     RootVertexMatch,
     build_logical_plan,
 )
+from repro.plan.cost import (
+    CostEstimate,
+    CostModel,
+    PlanCandidate,
+    PlanChoice,
+    candidate_orders,
+    choose_plan,
+)
 from repro.plan.options import MatchSemantics, PlannerOptions, SchedulingPolicy
 from repro.plan.paths import expand_quantified_paths, has_quantified_paths
 from repro.plan.scheduling import (
@@ -55,16 +63,35 @@ def plan_query(query, graph, options=None):
         raise TypeError("expected PGQL text or a parsed Query")
 
     vertex_order = options.vertex_order
-    if vertex_order is None and options.scheduling is SchedulingPolicy.SELECTIVITY:
-        vertex_order = selectivity_order(query, graph)
+    use_common_neighbors = options.use_common_neighbors
+    choice = None
+    if vertex_order is None:
+        if options.scheduling is SchedulingPolicy.COST:
+            choice = choose_plan(
+                query, graph,
+                force_common_neighbors=use_common_neighbors,
+            )
+            vertex_order = list(choice.order)
+            use_common_neighbors = choice.use_common_neighbors
+        elif options.scheduling is SchedulingPolicy.SELECTIVITY:
+            vertex_order = selectivity_order(query, graph)
+            choice = PlanChoice(
+                policy="selectivity",
+                order=vertex_order,
+                use_common_neighbors=bool(use_common_neighbors),
+                scores=estimate_selectivities(query, graph),
+                forced_common_neighbors=use_common_neighbors,
+            )
 
     logical = build_logical_plan(
         query,
         vertex_order=vertex_order,
-        use_common_neighbors=options.use_common_neighbors,
+        use_common_neighbors=bool(use_common_neighbors),
     )
     distributed = build_distributed_plan(logical)
-    return build_execution_plan(distributed, graph, options)
+    plan = build_execution_plan(distributed, graph, options)
+    plan.choice = choice
+    return plan
 
 
 __all__ = [
@@ -97,4 +124,10 @@ __all__ = [
     "expand_quantified_paths",
     "has_quantified_paths",
     "selectivity_order",
+    "CostModel",
+    "CostEstimate",
+    "PlanCandidate",
+    "PlanChoice",
+    "candidate_orders",
+    "choose_plan",
 ]

@@ -183,6 +183,10 @@ class ExecutionPlan:
         self.query = query
         self.options = options
         self.output = output
+        #: The planner's :class:`~repro.plan.cost.PlanChoice` when a
+        #: scheduling policy made an order/operator decision (None for
+        #: appearance order or an explicit vertex_order).
+        self.choice = None
         self._bulk_kernels = None
 
     @property
@@ -211,8 +215,16 @@ class ExecutionPlan:
         return kernels
 
     def describe(self):
-        """Human-readable stage listing (mirrors paper Figure 2)."""
+        """Human-readable stage listing (mirrors paper Figure 2).
+
+        When a scheduling policy produced a :class:`PlanChoice`, its
+        summary — chosen order, estimated cost, the best rejected
+        alternatives, per-variable selectivity scores — precedes the
+        stage listing (the EXPLAIN surface).
+        """
         lines = []
+        if self.choice is not None:
+            lines.append(self.choice.describe())
         for stage in self.stages:
             parts = ["Stage %d: (%s) %s" % (stage.index, stage.var,
                                             stage.kind.value)]

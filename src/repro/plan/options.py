@@ -26,14 +26,20 @@ class SchedulingPolicy(enum.Enum):
     APPEARANCE = "appearance"
     #: Start from the estimated most selective vertex and grow greedily.
     SELECTIVITY = "selectivity"
+    #: Enumerate candidate orders and pick the cheapest under the
+    #: statistics-backed cost model (``plan.cost``).
+    COST = "cost"
 
 
 @dataclass
 class PlannerOptions:
     semantics: MatchSemantics = MatchSemantics.HOMOMORPHISM
     scheduling: SchedulingPolicy = SchedulingPolicy.APPEARANCE
-    #: Enable the specialized common-neighbor hop engine (paper §5).
-    use_common_neighbors: bool = False
+    #: Tri-state switch for the specialized common-neighbor hop engine
+    #: (paper §5): ``True``/``False`` force it on/off; ``None`` (the
+    #: default) leaves it off except under ``SchedulingPolicy.COST``,
+    #: where the cost model decides per query.
+    use_common_neighbors: bool = None
     #: Explicit vertex matching order; overrides *scheduling* when set.
     vertex_order: list = None
     #: Record a structured event trace for this query (see ``repro.obs``);

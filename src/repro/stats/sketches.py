@@ -1,0 +1,182 @@
+"""Deterministic streaming sketches for the statistics subsystem.
+
+Two sketches back the per-property statistics:
+
+* :class:`TopValuesSketch` — a Misra-Gries / Space-Saving frequency
+  sketch.  With capacity *k* it tracks at most *k* distinct values and
+  guarantees that any value occurring more than ``total / k`` times is
+  present, with a per-entry overcount bound (``error``) that makes the
+  estimates usable as selectivities: ``count - error`` is a hard lower
+  bound on the true frequency.
+* :class:`DistinctSketch` — a k-minimum-values (KMV) cardinality
+  estimator over a *deterministic* hash (``blake2b``; Python's builtin
+  ``hash`` is salted per process and would break cross-run diffing of
+  serialized statistics).  Small streams (fewer than *k* distinct
+  hashes) are counted exactly.
+
+Both sketches are single-pass, mergeable-by-reinsertion, and serialize
+to plain JSON-safe dicts so a graph's statistics can be stored next to
+the graph and diffed across versions.
+"""
+
+import hashlib
+
+
+def _hash64(value):
+    """Stable 64-bit hash of a property value (type-tagged).
+
+    The type tag keeps ``1`` and ``"1"`` distinct; ``repr`` gives a
+    stable byte encoding for ints, floats, bools, and strings (the only
+    property types the graph supports).
+    """
+    payload = ("%s:%r" % (type(value).__name__, value)).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class TopValuesSketch:
+    """Space-Saving top-k frequency sketch (deterministic)."""
+
+    __slots__ = ("capacity", "total", "_counts", "_errors")
+
+    def __init__(self, capacity=16):
+        self.capacity = capacity
+        self.total = 0
+        self._counts = {}
+        self._errors = {}
+
+    def add(self, value, count=1):
+        self.total += count
+        counts = self._counts
+        if value in counts:
+            counts[value] += count
+            return
+        if len(counts) < self.capacity:
+            counts[value] = count
+            self._errors[value] = 0
+            return
+        # Evict the (deterministically chosen) minimum entry and adopt
+        # its count as the newcomer's overcount bound.
+        victim = min(counts, key=lambda key: (counts[key], _hash64(key)))
+        floor = counts.pop(victim)
+        self._errors.pop(victim)
+        counts[value] = floor + count
+        self._errors[value] = floor
+
+    def top(self, n=None):
+        """``[(value, count, error)]`` sorted by estimated count desc.
+
+        Ties break on the stable value hash so the listing (and any JSON
+        diff of it) is independent of insertion order.
+        """
+        items = sorted(
+            self._counts,
+            key=lambda key: (-self._counts[key], _hash64(key)),
+        )
+        if n is not None:
+            items = items[:n]
+        return [
+            (value, self._counts[value], self._errors[value])
+            for value in items
+        ]
+
+    def count(self, value):
+        """Estimated occurrences of *value* (None when untracked)."""
+        count = self._counts.get(value)
+        if count is None:
+            return None
+        return count
+
+    def guaranteed_count(self, value):
+        """Lower bound on the true occurrences of *value* (0 untracked)."""
+        count = self._counts.get(value)
+        if count is None:
+            return 0
+        return count - self._errors[value]
+
+    @property
+    def tracked_total(self):
+        return sum(self._counts.values())
+
+    @property
+    def guaranteed_total(self):
+        """Stream mass provably belonging to the tracked values.
+
+        ``total - guaranteed_total`` bounds the mass that may belong to
+        evicted (untracked) values; the raw ``tracked_total`` absorbs
+        the whole stream once the capacity is exceeded and would bound
+        nothing.
+        """
+        errors = self._errors
+        return sum(
+            count - errors[value] for value, count in self._counts.items()
+        )
+
+    def to_dict(self):
+        return {
+            "capacity": self.capacity,
+            "total": self.total,
+            "entries": [
+                [value, count, error] for value, count, error in self.top()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        sketch = cls(capacity=data["capacity"])
+        sketch.total = data["total"]
+        for value, count, error in data["entries"]:
+            sketch._counts[value] = count
+            sketch._errors[value] = error
+        return sketch
+
+
+class DistinctSketch:
+    """KMV distinct-count estimator with exact small-stream counting."""
+
+    #: Hash space size: hashes are uniform in ``[0, 2**64)``.
+    _SPACE = float(2**64)
+
+    __slots__ = ("capacity", "_hashes")
+
+    def __init__(self, capacity=256):
+        self.capacity = capacity
+        self._hashes = set()
+
+    def add(self, value):
+        self.add_hash(_hash64(value))
+
+    def add_hash(self, hashed):
+        hashes = self._hashes
+        if len(hashes) < self.capacity:
+            hashes.add(hashed)
+            return
+        if hashed in hashes:
+            return
+        largest = max(hashes)
+        if hashed < largest:
+            hashes.discard(largest)
+            hashes.add(hashed)
+
+    def estimate(self):
+        """Estimated number of distinct values seen."""
+        hashes = self._hashes
+        size = len(hashes)
+        if size < self.capacity:
+            return size  # exact: every distinct hash fits
+        kth = max(hashes)
+        if kth == 0:
+            return size
+        return int(round((size - 1) * self._SPACE / kth))
+
+    def to_dict(self):
+        return {
+            "capacity": self.capacity,
+            "hashes": sorted(self._hashes),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        sketch = cls(capacity=data["capacity"])
+        sketch._hashes = set(data["hashes"])
+        return sketch

@@ -13,6 +13,11 @@ from repro.workloads.random_graphs import (
     seeded_workload,
     split_heavy_fast,
 )
+from repro.workloads.skewed import (
+    skewed_music_graph,
+    skewed_query_suite,
+    skewed_workload,
+)
 
 __all__ = [
     "BsbmGraph",
@@ -22,5 +27,8 @@ __all__ = [
     "random_pattern_query",
     "random_query_suite",
     "seeded_workload",
+    "skewed_music_graph",
+    "skewed_query_suite",
+    "skewed_workload",
     "split_heavy_fast",
 ]

@@ -1,0 +1,141 @@
+"""Skewed "music industry" workload for the cost-based planner pillar.
+
+The graph is deliberately lopsided: a huge ``person`` population, a
+handful of ``band`` vertices soaking up most of the ``fan_of`` edges
+(power-law fan-in), and a mid-sized ``song`` catalog whose ``likes``
+edges again concentrate on a few hits.  On such a graph the textual
+left-to-right matching order is consistently bad — the queries below are
+*written* to start at the fat end — so the workload separates a
+cost-based planner from the naive appearance order on deterministic
+work/message metrics, not just wall time.
+
+The query suite exercises each planner capability once:
+
+* a forward chain whose cheap anchor is the *last* variable in the text
+  (label + equality filter on ``band``), forcing a reordering that
+  traverses ``fan_of`` against its direction — priced with the
+  in-degree histograms;
+* a reverse hop anchored on a single hit song (in-degree statistics
+  again, this time as the root choice);
+* a triangle (fan of a band who also likes one of its songs);
+* a common-neighbor intersection (two named listeners sharing a song)
+  where the §5 operator should be auto-enabled by the model.
+
+Everything is a pure function of the seed.
+"""
+
+import random
+
+from repro.graph.builder import GraphBuilder
+
+
+def _skewed_index(rng, count, exponent=3.0):
+    """Random index in ``[0, count)`` biased toward 0 (power-law-ish)."""
+    return min(count - 1, int(count * (rng.random() ** exponent)))
+
+
+def skewed_music_graph(num_persons=300, num_bands=8, num_songs=40,
+                       fan_edges=900, likes_edges=600, num_curators=12,
+                       curator_likes=25, seed=0):
+    """Seeded skewed graph: persons >> songs >> bands, hub-heavy edges.
+
+    Besides the base population, *num_curators* ``curator`` vertices
+    each like *curator_likes* distinct songs — a separately-labeled
+    high-fan-out cohort, so the per-label degree histograms price their
+    expansions correctly and the common-neighbor operator has real
+    candidate lists to intersect.
+    """
+    rng = random.Random(seed)
+    builder = GraphBuilder()
+    bands = [
+        builder.add_vertex(label="band", name="band%d" % index,
+                           genre=index % 4)
+        for index in range(num_bands)
+    ]
+    songs = [
+        builder.add_vertex(label="song", title="song%d" % index,
+                           year=1990 + index % 30)
+        for index in range(num_songs)
+    ]
+    persons = [
+        builder.add_vertex(label="person", name="p%d" % index,
+                           age=18 + index % 50)
+        for index in range(num_persons)
+    ]
+    curators = [
+        builder.add_vertex(label="curator", name="c%d" % index,
+                           age=25 + index % 40)
+        for index in range(num_curators)
+    ]
+    # Every song is recorded by exactly one band; hits cluster on band0.
+    for song in songs:
+        builder.add_edge(bands[_skewed_index(rng, num_bands)], song,
+                         label="recorded")
+    # Fandom: most fan_of edges land on the first few bands.
+    for _ in range(fan_edges):
+        builder.add_edge(rng.choice(persons),
+                         bands[_skewed_index(rng, num_bands)],
+                         label="fan_of")
+    # Listening: likes concentrate on the first few songs (the hits).
+    for _ in range(likes_edges):
+        builder.add_edge(rng.choice(persons),
+                         songs[_skewed_index(rng, num_songs)],
+                         label="likes")
+    # Curators like broad, distinct song sets (intersection fodder).
+    for curator in curators:
+        for song_index in sorted(
+            rng.sample(range(num_songs), min(curator_likes, num_songs))
+        ):
+            builder.add_edge(curator, songs[song_index], label="likes")
+    return builder.build()
+
+
+def skewed_query_suite(seed=0, num_bands=8, num_songs=40, num_curators=12):
+    """Deterministic planner-adversarial queries (naive-bad text order).
+
+    Anchors are drawn from the *rare tail* of the skew: filtering on a
+    tail band or tail song is genuinely selective, which is exactly the
+    situation where matching in text order (fat end first) loses.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    band = "band%d" % rng.randrange(num_bands // 2, num_bands)
+    song = "song%d" % rng.randrange(num_songs // 2, num_songs)
+    half = max(1, num_curators // 2)
+    listener_a = "c%d" % rng.randrange(half)
+    listener_b = "c%d" % rng.randrange(half, num_curators)
+    return [
+        # Text order starts at the 300-person fat end; the selective
+        # anchor (band name equality) is last.
+        "SELECT p, b, s WHERE (p:person)-[:fan_of]->(b:band)"
+        "-[:recorded]->(s:song), b.name = '%s'" % band,
+        # Reverse hop: the only cheap start is the tail song, reached
+        # against the likes direction (in-degree statistics).
+        "SELECT p, s WHERE (p:person)-[:likes]->(s:song), "
+        "s.title = '%s'" % song,
+        # Triangle: fan of a band who also likes one of its songs.
+        "SELECT p, b, s WHERE (p:person)-[:fan_of]->(b:band), "
+        "(b)-[:recorded]->(s:song), (p)-[:likes]->(s), "
+        "b.name = '%s'" % band,
+        # Common-neighbor intersection: two named curators sharing a
+        # song — the §5 operator's home turf.
+        "SELECT a, s, b WHERE (a:curator)-[:likes]->(s:song)"
+        "<-[:likes]-(b:curator), a.name = '%s', b.name = '%s'"
+        % (listener_a, listener_b),
+    ]
+
+
+def skewed_workload(config, num_persons=300, num_bands=8, num_songs=40,
+                    fan_edges=900, likes_edges=600, num_curators=12,
+                    curator_likes=25):
+    """``(graph, queries)`` pair derived entirely from ``config.seed``."""
+    seed = getattr(config, "seed", 0)
+    graph = skewed_music_graph(
+        num_persons=num_persons, num_bands=num_bands, num_songs=num_songs,
+        fan_edges=fan_edges, likes_edges=likes_edges,
+        num_curators=num_curators, curator_likes=curator_likes, seed=seed,
+    )
+    queries = skewed_query_suite(
+        seed=seed, num_bands=num_bands, num_songs=num_songs,
+        num_curators=num_curators,
+    )
+    return graph, queries

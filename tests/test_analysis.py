@@ -637,8 +637,9 @@ class TestSelfHosting:
         assert result.findings == []
         assert result.stale_baseline == []
         # The only whitelisted findings are the reviewed wall-clock
-        # sites (simulator run bracket + bench harness).
-        assert result.baselined == 4
+        # sites (simulator run bracket + bench harness + planner
+        # pillar).
+        assert result.baselined == 6
 
     def test_checked_in_baseline_entries_are_commented(self):
         for entry in load_baseline(str(BASELINE)):

@@ -193,3 +193,31 @@ class TestBenchCli:
             "--compare", seed_path, "--threshold", "25",
         ])
         assert code == 0
+
+
+class TestPlannerPillar:
+    def test_pillar_in_quick_matrix(self):
+        specs = dict(WORKLOADS)
+        planner_keys = [
+            key for key, spec in specs.items()
+            if spec.get("kind") == "planner"
+        ]
+        assert planner_keys, "planner pillar missing from the matrix"
+        assert all(specs[key]["quick"] for key in planner_keys)
+
+    def test_pillar_record_beats_naive_with_identical_rows(self, quick_doc):
+        pillars = {
+            key: record
+            for key, record in quick_doc["workloads"].items()
+            if "planner_rows_match" in record
+        }
+        assert pillars
+        for record in pillars.values():
+            assert record["planner_rows_match"] is True
+            assert record["ticks"] < record["naive_ticks"]
+            assert record["total_ops"] < record["naive_total_ops"]
+            assert record["work_messages"] < record["naive_work_messages"]
+
+    def test_pillar_record_passes_schema(self, quick_doc):
+        # The extra naive_* fields must not break the shared schema.
+        assert validate(quick_doc) == []

@@ -402,3 +402,80 @@ class TestTrafficCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "serial parity: OK" in out
+
+
+class TestStatsCommand:
+    def test_stats_args(self):
+        args = build_parser().parse_args(
+            ["stats", "--bsbm", "100", "--top", "3", "--json"]
+        )
+        assert args.command == "stats"
+        assert args.top == 3
+        assert args.json
+
+    def test_stats_table(self, capsys):
+        code = main(["stats", "--random", "80x320", "--top", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "vertex label" in out
+        assert "fan-out" in out
+
+    def test_stats_json(self, capsys):
+        import json as json_mod
+
+        code = main(["stats", "--random", "80x320", "--json"])
+        assert code == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert doc["num_vertices"] == 80
+        assert doc["num_edges"] == 320
+
+    def test_stats_out_saves_graph_with_stats(self, tmp_path, capsys):
+        path = str(tmp_path / "g.json")
+        code = main(["stats", "--random", "50x200", "--out", path])
+        assert code == 0
+        reloaded = load_graph(
+            build_parser().parse_args(
+                ["query", "--graph", path, "SELECT a WHERE (a)"]
+            )
+        )
+        assert reloaded.num_vertices == 50
+
+
+class TestPlanPolicyFlag:
+    def test_plan_cost_explain(self, capsys):
+        code = main(
+            ["query", "--bsbm", "100", "--plan", "cost", "--explain",
+             "SELECT COUNT(*) WHERE (o:offer)-[:offerProduct]->"
+             "(p:product)-[:producer]->(pr:producer)"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planner: policy=cost" in out
+        assert "est. cost=" in out
+        assert "rejected:" in out
+        assert "scores:" in out
+        assert "Stage 0" in out
+
+    def test_plan_selectivity_explain(self, capsys):
+        code = main(
+            ["query", "--random", "60x240", "--plan", "selectivity",
+             "--explain", "SELECT a, b WHERE (a)-[]->(b WITH type = 1)"]
+        )
+        assert code == 0
+        assert "planner: policy=selectivity" in capsys.readouterr().out
+
+    def test_plan_cost_runs_query(self, capsys):
+        code = main(
+            ["query", "--bsbm", "100", "--plan", "cost",
+             "SELECT COUNT(*) WHERE (o:offer)-[:offerProduct]->"
+             "(p:product)"]
+        )
+        assert code == 0
+        assert "rows" in capsys.readouterr().out
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--random", "60x240", "--plan", "psychic",
+                 "SELECT a WHERE (a)"]
+            )

@@ -1,0 +1,106 @@
+"""Property test: the cost-based planner is a pure optimization.
+
+For random labeled graphs and a pool of reorderable queries, running
+under ``SchedulingPolicy.COST`` — including plans where the model
+auto-enables the common-neighbor operator — must return exactly the
+rows of the naive appearance-order plan (the §4 invariant the planner
+is allowed to change *work*, never *results*).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ClusterConfig, PlannerOptions, run_query
+from repro.graph import GraphBuilder
+from repro.plan import SchedulingPolicy
+
+
+@st.composite
+def labeled_graphs(draw):
+    """Small random graphs with labels and properties worth pricing."""
+    num_hubs = draw(st.integers(min_value=1, max_value=3))
+    num_items = draw(st.integers(min_value=2, max_value=6))
+    num_users = draw(st.integers(min_value=2, max_value=8))
+    builder = GraphBuilder()
+    hubs = [
+        builder.add_vertex(label="hub", name="h%d" % i, t=i % 2)
+        for i in range(num_hubs)
+    ]
+    items = [
+        builder.add_vertex(label="item", name="i%d" % i,
+                           v=draw(st.integers(min_value=0, max_value=5)))
+        for i in range(num_items)
+    ]
+    users = [
+        builder.add_vertex(label="user", name="u%d" % i, t=i % 3)
+        for i in range(num_users)
+    ]
+    num_edges = draw(st.integers(min_value=2, max_value=24))
+    for _ in range(num_edges):
+        kind = draw(st.integers(min_value=0, max_value=2))
+        if kind == 0:
+            builder.add_edge(draw(st.sampled_from(users)),
+                             draw(st.sampled_from(hubs)), label="follows")
+        elif kind == 1:
+            builder.add_edge(draw(st.sampled_from(hubs)),
+                             draw(st.sampled_from(items)), label="owns")
+        else:
+            builder.add_edge(draw(st.sampled_from(users)),
+                             draw(st.sampled_from(items)), label="likes")
+    return builder.build()
+
+
+QUERY_POOL = [
+    # Chains written fat-end first (reordering fodder).
+    "SELECT u, h WHERE (u:user)-[:follows]->(h:hub)",
+    "SELECT u, h, i WHERE (u:user)-[:follows]->(h:hub)-[:owns]->(i:item)",
+    "SELECT u, h WHERE (u:user)-[:follows]->(h:hub), h.name = 'h0'",
+    "SELECT u, h, i WHERE (u:user)-[:follows]->(h:hub)-[:owns]->(i:item), "
+    "i.v > 2",
+    # Intersections the model may answer with the CN operator.
+    "SELECT a, i, b WHERE (a:user)-[:likes]->(i:item)<-[:likes]-(b:user)",
+    "SELECT a, i, b WHERE (a:user)-[:likes]->(i:item)<-[:likes]-(b:user), "
+    "a.name = 'u0', b.name = 'u1'",
+    "SELECT a, i, b WHERE (a:hub)-[:owns]->(i:item)<-[:likes]-(b:user), "
+    "a.t = 0",
+    # Triangle with a cross-variable filter.
+    "SELECT u, h, i WHERE (u:user)-[:follows]->(h:hub), "
+    "(h)-[:owns]->(i:item), (u)-[:likes]->(i), u.t != i.v",
+]
+
+
+class TestCostOrderMatchesNaive:
+    @given(
+        graph=labeled_graphs(),
+        query=st.sampled_from(QUERY_POOL),
+        machines=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rows_identical(self, graph, query, machines):
+        config = ClusterConfig(num_machines=machines)
+        naive = sorted(
+            run_query(graph, query, config, PlannerOptions()).rows
+        )
+        planned = run_query(
+            graph, query, config,
+            PlannerOptions(scheduling=SchedulingPolicy.COST),
+        )
+        assert sorted(planned.rows) == naive
+
+    @given(
+        graph=labeled_graphs(),
+        query=st.sampled_from(QUERY_POOL),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rows_identical_with_forced_cn(self, graph, query):
+        """Forcing the CN operator under COST must not change rows."""
+        config = ClusterConfig(num_machines=2)
+        naive = sorted(
+            run_query(graph, query, config, PlannerOptions()).rows
+        )
+        forced = run_query(
+            graph, query, config,
+            PlannerOptions(scheduling=SchedulingPolicy.COST,
+                           use_common_neighbors=True),
+        )
+        assert sorted(forced.rows) == naive

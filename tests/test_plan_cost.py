@@ -1,0 +1,155 @@
+"""The cost model and cost-based plan chooser (`repro.plan.cost`)."""
+
+import pytest
+
+from repro import ClusterConfig, PlannerOptions, run_query
+from repro.graph import GraphBuilder
+from repro.pgql import parse_and_validate
+from repro.plan import (
+    CostModel,
+    SchedulingPolicy,
+    candidate_orders,
+    choose_plan,
+    plan_query,
+)
+from repro.workloads.skewed import skewed_music_graph, skewed_query_suite
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    return skewed_music_graph(seed=0)
+
+
+@pytest.fixture(scope="module")
+def chain_query():
+    return parse_and_validate(
+        "SELECT p, b, s WHERE (p:person)-[:fan_of]->(b:band)"
+        "-[:recorded]->(s:song), b.name = 'band7'"
+    )
+
+
+@pytest.fixture(scope="module")
+def cn_query():
+    return parse_and_validate(
+        "SELECT a, s, b WHERE (a:curator)-[:likes]->(s:song)"
+        "<-[:likes]-(b:curator), a.name = 'c0', b.name = 'c7'"
+    )
+
+
+class TestCostModel:
+    def test_variable_scores_rank_the_selective_anchor(
+        self, skewed, chain_query
+    ):
+        scores = CostModel(skewed).variable_scores(chain_query)
+        assert set(scores) == {"p", "b", "s"}
+        # The filtered band variable is by far the cheapest anchor; the
+        # unfiltered person population is the worst.
+        assert scores["b"] < scores["s"] < scores["p"]
+
+    def test_estimate_prefers_selective_first(self, skewed, chain_query):
+        model = CostModel(skewed)
+        naive = model.estimate(chain_query, ("p", "b", "s"))
+        reordered = model.estimate(chain_query, ("b", "s", "p"))
+        assert reordered.cost < naive.cost
+        assert reordered.rows > 0
+
+    def test_estimate_charges_messages(self, skewed, chain_query):
+        estimate = CostModel(skewed).estimate(chain_query, ("p", "b", "s"))
+        assert estimate.messages > 0
+        assert estimate.cost > estimate.work  # message weight applies
+
+
+class TestCandidateOrders:
+    def test_orders_are_connected_prefixes(self, skewed, chain_query):
+        orders = candidate_orders(chain_query, skewed)
+        assert ("p", "b", "s") in orders
+        assert ("b", "p", "s") in orders
+        # A prefix that needs a cartesian restart is never enumerated.
+        assert ("p", "s", "b") not in orders
+
+    def test_enumeration_covers_all_rotations(self, skewed, cn_query):
+        orders = candidate_orders(cn_query, skewed)
+        starts = {order[0] for order in orders}
+        assert starts == {"a", "s", "b"}
+
+
+class TestChoosePlan:
+    def test_reorders_naive_bad_chain(self, skewed, chain_query):
+        choice = choose_plan(chain_query, skewed)
+        assert choice.policy == "cost"
+        assert choice.order[0] != "p"  # not the fat end
+        assert choice.candidates_considered > 1
+        assert choice.alternatives  # at least one rejected alternative
+        best_rejected = choice.alternatives[0]
+        assert best_rejected.estimate.cost >= choice.chosen.estimate.cost
+
+    def test_auto_enables_common_neighbors(self, skewed, cn_query):
+        choice = choose_plan(cn_query, skewed)
+        assert choice.use_common_neighbors
+        assert choice.auto_common_neighbors
+
+    def test_force_off_is_respected(self, skewed, cn_query):
+        choice = choose_plan(cn_query, skewed,
+                             force_common_neighbors=False)
+        assert not choice.use_common_neighbors
+        assert not choice.auto_common_neighbors
+
+    def test_force_on_is_marked_forced(self, skewed, chain_query):
+        choice = choose_plan(chain_query, skewed,
+                             force_common_neighbors=True)
+        assert not choice.auto_common_neighbors
+
+    def test_describe_is_the_explain_surface(self, skewed, cn_query):
+        text = choose_plan(cn_query, skewed).describe()
+        assert "planner: policy=cost" in text
+        assert "est. cost=" in text
+        assert "rejected:" in text
+        assert "scores:" in text
+        assert "common-neighbors on (auto)" in text
+
+    def test_deterministic(self, skewed, chain_query):
+        first = choose_plan(chain_query, skewed)
+        second = choose_plan(chain_query, skewed)
+        assert first.order == second.order
+        assert first.chosen.estimate.cost == second.chosen.estimate.cost
+
+
+class TestEnginePolicyWiring:
+    def test_plan_query_attaches_choice(self, skewed):
+        query = parse_and_validate(
+            "SELECT p, b WHERE (p:person)-[:fan_of]->(b:band), "
+            "b.name = 'band7'"
+        )
+        options = PlannerOptions(scheduling=SchedulingPolicy.COST)
+        plan = plan_query(query, skewed, options)
+        assert plan.choice is not None
+        assert plan.choice.policy == "cost"
+        assert "planner: policy=cost" in plan.describe()
+
+    def test_appearance_policy_unchanged(self, skewed):
+        query = parse_and_validate(
+            "SELECT p, b WHERE (p:person)-[:fan_of]->(b:band)"
+        )
+        plan = plan_query(query, skewed, PlannerOptions())
+        assert plan.choice is None
+
+    def test_cost_policy_returns_identical_rows(self, skewed):
+        config = ClusterConfig(num_machines=3, seed=0)
+        cost = PlannerOptions(scheduling=SchedulingPolicy.COST)
+        naive = PlannerOptions()
+        for query in skewed_query_suite(seed=0):
+            expected = sorted(run_query(skewed, query, config, naive).rows)
+            got = sorted(run_query(skewed, query, config, cost).rows)
+            assert got == expected, query
+
+    def test_cost_policy_does_less_work_on_the_suite(self, skewed):
+        config = ClusterConfig(num_machines=3, seed=0)
+        cost = PlannerOptions(scheduling=SchedulingPolicy.COST)
+        naive = PlannerOptions()
+        cost_ops = naive_ops = 0
+        for query in skewed_query_suite(seed=0):
+            cost_ops += run_query(skewed, query, config,
+                                  cost).metrics.total_ops
+            naive_ops += run_query(skewed, query, config,
+                                   naive).metrics.total_ops
+        assert cost_ops < naive_ops

@@ -1,0 +1,187 @@
+"""The statistics subsystem: sketches, collection, serialization."""
+
+import json
+
+from repro.graph import GraphBuilder
+from repro.graph.loaders import graph_from_dict, graph_to_dict, load_json, save_json
+from repro.graph.types import Direction
+from repro.stats import (
+    DistinctSketch,
+    GraphStatistics,
+    TopValuesSketch,
+    collect_statistics,
+)
+
+
+def music_graph():
+    """2 bands, 4 songs (3 by band0), 5 persons; skewed fan_of."""
+    builder = GraphBuilder()
+    b0 = builder.add_vertex(label="band", name="b0")
+    b1 = builder.add_vertex(label="band", name="b1")
+    songs = [
+        builder.add_vertex(label="song", year=2000 + i) for i in range(4)
+    ]
+    persons = [
+        builder.add_vertex(label="person", name="p%d" % i, age=20 + i)
+        for i in range(5)
+    ]
+    for song in songs[:3]:
+        builder.add_edge(b0, song, label="recorded")
+    builder.add_edge(b1, songs[3], label="recorded")
+    for person in persons:
+        builder.add_edge(person, b0, label="fan_of")
+    builder.add_edge(persons[0], b1, label="fan_of")
+    return builder.build()
+
+
+class TestTopValuesSketch:
+    def test_exact_below_capacity(self):
+        sketch = TopValuesSketch(capacity=4)
+        for value in "aabbbc":
+            sketch.add(value)
+        assert sketch.count("b") == 3
+        assert sketch.guaranteed_count("b") == 3
+        assert sketch.guaranteed_total == sketch.total == 6
+
+    def test_eviction_keeps_error_bounds(self):
+        sketch = TopValuesSketch(capacity=2)
+        for value in ["hot"] * 10 + ["a", "b", "c"]:
+            sketch.add(value)
+        # The heavy hitter survives with a usable lower bound.
+        assert sketch.guaranteed_count("hot") >= 10 - 3
+        # Untracked values report 0 guaranteed, not a made-up count.
+        tracked = {value for value, _count, _err in sketch.top()}
+        for value in {"a", "b", "c"} - tracked:
+            assert sketch.guaranteed_count(value) == 0
+        # The guaranteed mass never exceeds the stream length.
+        assert sketch.guaranteed_total <= sketch.total
+
+    def test_top_order_independent_of_insertion(self):
+        left, right = TopValuesSketch(capacity=8), TopValuesSketch(capacity=8)
+        values = ["x"] * 3 + ["y"] * 3 + ["z"]
+        for value in values:
+            left.add(value)
+        for value in reversed(values):
+            right.add(value)
+        assert left.top() == right.top()
+
+    def test_round_trip(self):
+        sketch = TopValuesSketch(capacity=3)
+        for value in "aabbbcccc":
+            sketch.add(value)
+        clone = TopValuesSketch.from_dict(
+            json.loads(json.dumps(sketch.to_dict()))
+        )
+        assert clone.top() == sketch.top()
+        assert clone.total == sketch.total
+
+
+class TestDistinctSketch:
+    def test_exact_small_stream(self):
+        sketch = DistinctSketch(capacity=64)
+        for value in range(40):
+            sketch.add(value)
+            sketch.add(value)  # duplicates don't count
+        assert sketch.estimate() == 40
+
+    def test_estimate_large_stream(self):
+        sketch = DistinctSketch(capacity=128)
+        for value in range(5000):
+            sketch.add(value)
+        estimate = sketch.estimate()
+        assert 3000 < estimate < 8000  # KMV with k=128 is ~±9% at 1σ
+
+    def test_round_trip(self):
+        sketch = DistinctSketch(capacity=16)
+        for value in range(100):
+            sketch.add(value)
+        clone = DistinctSketch.from_dict(
+            json.loads(json.dumps(sketch.to_dict()))
+        )
+        assert clone.estimate() == sketch.estimate()
+
+
+class TestCollect:
+    def test_label_counts_and_fanout(self):
+        stats = collect_statistics(music_graph())
+        assert stats.vertex_label_counts == {"band": 2, "song": 4,
+                                             "person": 5}
+        assert stats.edge_label_counts == {"recorded": 4, "fan_of": 6}
+        assert stats.edge_triples[("band", "recorded", "song")] == 4
+        assert stats.expected_neighbors("band", "recorded", "out") == 2.0
+        # In-direction: fans per band, songs' recording band.
+        assert stats.expected_neighbors("band", "fan_of", "in") == 3.0
+        assert stats.expected_neighbors("song", "recorded", "in") == 1.0
+
+    def test_degree_histograms_both_sides(self):
+        stats = collect_statistics(music_graph())
+        assert stats.out_degrees["person"].max == 2  # p0 likes two bands
+        assert stats.in_degrees["band"].max == 5     # b0's fans
+        assert stats.in_degrees["person"].max == 0
+        assert stats.out_degrees_all.count == stats.num_vertices
+
+    def test_neighbor_label_fraction_and_edge_probability(self):
+        stats = collect_statistics(music_graph())
+        assert stats.neighbor_label_fraction(
+            "band", "recorded", "out", "song") == 1.0
+        assert stats.neighbor_label_fraction(
+            "song", "recorded", "in", "band") == 1.0
+        # 4 recorded edges over 2 bands x 4 songs = 0.5 expected edges.
+        assert stats.edge_probability("band", "recorded", "song") == 0.5
+
+    def test_property_selectivities(self):
+        stats = collect_statistics(music_graph())
+        name = stats.vertex_prop_stats("name")
+        assert name is not None
+        # 7 named vertices of 11 total; each name unique among them.
+        assert 0.0 < name.eq_selectivity("p0") < 0.2
+        year = stats.vertex_prop_stats("year")
+        assert year.range_selectivity("<", 2002) > 0.0
+
+
+class TestGraphIntegration:
+    def test_statistics_cached_and_refreshable(self):
+        graph = music_graph()
+        first = graph.statistics()
+        assert graph.statistics() is first
+        assert graph.statistics(refresh=True) is not first
+
+    def test_build_time_collection(self):
+        builder = GraphBuilder()
+        builder.add_vertex(label="v")
+        graph = builder.build(collect_stats=True)
+        assert graph.statistics().vertex_label_counts == {"v": 1}
+
+    def test_in_degree_stats_counterpart(self):
+        graph = music_graph()
+        out_min, out_max, out_mean = graph.degree_stats()
+        in_min, in_max, in_mean = graph.degree_stats(direction=Direction.IN)
+        assert (out_min, in_min) == (0, 0)
+        assert in_max == 5  # b0's fan_of in-degree
+        assert out_max == 3  # b0 recorded three songs
+        assert out_mean == in_mean  # same edge total on both sides
+
+    def test_json_round_trip_preserves_stats(self, tmp_path):
+        graph = music_graph()
+        original = graph.statistics()
+        path = str(tmp_path / "g.json")
+        save_json(graph, path, include_stats=True)
+        loaded = load_json(path)
+        # Attached on load: no recollection pass needed or triggered.
+        assert loaded.statistics().to_dict() == original.to_dict()
+
+    def test_dict_round_trip_without_stats_stays_lean(self):
+        graph = music_graph()
+        doc = graph_to_dict(graph)
+        assert "statistics" not in doc
+        assert graph_from_dict(doc).num_vertices == graph.num_vertices
+
+    def test_statistics_document_round_trip(self):
+        stats = collect_statistics(music_graph())
+        clone = GraphStatistics.from_json(stats.to_json())
+        assert clone.to_dict() == stats.to_dict()
+
+    def test_table_renders(self):
+        text = collect_statistics(music_graph()).table(top=2)
+        assert "vertex label" in text
+        assert "band" in text and "fan_of" in text

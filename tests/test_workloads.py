@@ -180,3 +180,37 @@ class TestHeavyFastSplit:
         heavy, fast = split_heavy_fast({"a": 5, "b": 50}, threshold=10)
         assert heavy == ["b"]
         assert fast == ["a"]
+
+
+class TestSkewedWorkload:
+    def test_deterministic(self):
+        from repro.workloads import skewed_workload
+
+        graph_a, queries_a = skewed_workload(ClusterConfig(seed=3))
+        graph_b, queries_b = skewed_workload(ClusterConfig(seed=3))
+        assert queries_a == queries_b
+        assert graph_a.num_edges == graph_b.num_edges
+        for vertex in graph_a.vertices():
+            assert list(graph_a.out_neighbors(vertex)) == \
+                list(graph_b.out_neighbors(vertex))
+
+    def test_degree_skew_is_real(self):
+        from repro.workloads import skewed_music_graph
+
+        stats = skewed_music_graph(seed=0).statistics()
+        bands = stats.in_degrees["band"]
+        # The hub band has far more fans than the mean band.
+        assert bands.max > 3 * bands.mean
+        # Curators fan out much wider than ordinary persons.
+        assert stats.out_degrees["curator"].mean > \
+            4 * stats.out_degrees["person"].mean
+
+    def test_queries_are_naive_bad(self):
+        from repro.workloads import skewed_query_suite
+
+        queries = skewed_query_suite(seed=0)
+        assert len(queries) == 4
+        # Text order anchors every chain at the fat person end while the
+        # selective equality filter sits on a later variable.
+        assert queries[0].index("(p:person)") < queries[0].index("b.name")
+        assert "<-[:likes]-" in queries[3]  # the CN intersection
