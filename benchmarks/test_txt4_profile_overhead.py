@@ -1,0 +1,81 @@
+"""TXT4 — stage-profiler overhead guard (observability ablation, part 3).
+
+The plan-vs-actual profiler follows the tracer's and telemetry's
+zero-cost-off contract: disabled, every machine holds ``None`` instead
+of a :class:`MachineStageProfile` view, the bulk-kernel cache serves the
+uninstrumented variant (the profiled counters are not even compiled in),
+and the remaining cursor/route sites are one pointer comparison each.
+This bench runs a FIG6-scale query with profiling off and on,
+interleaved, and asserts:
+
+* profiling never perturbs the simulation — identical ticks, ops, and
+  rows whether the stage counters are recording or not; and
+* the disabled path stays within 5% of the enabled run's cost (the same
+  margin as TXT2/TXT3): if the "off" checks leaked work into the hot
+  path, disabled would approach enabled and the margin would vanish.
+"""
+
+import time
+
+from repro.plan import PlannerOptions
+from repro.runtime import PgxdAsyncEngine
+
+from .conftest import bench_config, print_table
+
+ROUNDS = 5
+
+
+def run_profile_overhead_experiment(random_workload):
+    graph, queries = random_workload
+    query = queries[0]
+    engine = PgxdAsyncEngine(graph, bench_config(8))
+    profile_options = PlannerOptions(profile=True)
+
+    # Warm up caches/lazy imports (both bulk-kernel variants compile
+    # here) before timing anything.
+    baseline = engine.query(query)
+    profiled = engine.query(query, options=profile_options)
+
+    # Profiling must not perturb the simulation.
+    assert profiled.metrics.ticks == baseline.metrics.ticks
+    assert profiled.metrics.total_ops == baseline.metrics.total_ops
+    assert sorted(profiled.rows) == sorted(baseline.rows)
+    assert baseline.profiler is None
+    totals = profiled.profiler.stage_totals()
+    assert totals[-1]["emitted"] == len(profiled.rows)
+
+    disabled_times, enabled_times = [], []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        engine.query(query)
+        disabled_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        engine.query(query, options=profile_options)
+        enabled_times.append(time.perf_counter() - start)
+
+    disabled = sorted(disabled_times)[ROUNDS // 2]
+    enabled = sorted(enabled_times)[ROUNDS // 2]
+    print_table(
+        "TXT4: stage-profiler overhead on a FIG6-scale query (median of %d)"
+        % ROUNDS,
+        ("mode", "median s", "scanned", "vs disabled"),
+        [
+            ("profiling disabled", "%.4f" % disabled, 0, "1.00x"),
+            ("profiling enabled", "%.4f" % enabled,
+             sum(entry["scanned"] for entry in totals),
+             "%.2fx" % (enabled / disabled)),
+        ],
+    )
+    return disabled, enabled
+
+
+def test_txt4_profile_overhead(benchmark, random_workload):
+    disabled, enabled = benchmark.pedantic(
+        run_profile_overhead_experiment, args=(random_workload,),
+        rounds=1, iterations=1,
+    )
+    # The profiling-off path must cost no more than 5% over the
+    # profiling-on run's floor — the "off" configuration is the default
+    # every non-observability benchmark and test pays for.
+    assert disabled <= enabled * 1.05

@@ -132,7 +132,8 @@ class DeterminismRule(Rule):
 # ----------------------------------------------------------------------
 
 #: Segment names that denote an optional observability handle.
-_TRACERISH = frozenset({"trace", "tracer", "telemetry", "sampler"})
+_TRACERISH = frozenset({"trace", "tracer", "telemetry", "sampler",
+                        "profiler"})
 
 
 class ZeroCostOffRule(Rule):
@@ -142,7 +143,8 @@ class ZeroCostOffRule(Rule):
     id = "RPR002"
     title = "zero-cost-off: guard tracer/telemetry calls with `is not None`"
     severity = "error"
-    scope = ("repro.runtime", "repro.cluster")
+    scope = ("repro.runtime", "repro.cluster", "repro.service",
+             "repro.obs.feedback")
     rationale = (
         "Observability must cost nothing when disabled: the runtime holds "
         "either a tracer/telemetry object or None, and the TXT1–TXT3 "

@@ -143,16 +143,22 @@ def run_workload(key, spec, seed=0, bulk_kernels=True):
 
 
 def run_planner_workload(key, spec, seed=0, bulk_kernels=True):
-    """The cost-based-planner pillar: skewed workload, two plan policies.
+    """The cost-based-planner pillar: skewed workload, three plan runs.
 
     The gated metrics (``ticks``, ``total_ops``) measure the cost-based
-    runs; the same queries are then re-run under the naive appearance
-    order and recorded as ``naive_ticks`` / ``naive_total_ops`` /
-    ``naive_work_messages``, with ``planner_rows_match`` certifying the
-    two policies returned bit-identical sorted result rows.  CI gates on
-    the deltas: the planner must win on deterministic work *and* agree
-    on every row.
+    runs, now executed with stage profiling on so the record also
+    carries the aggregate estimate-error metrics
+    (``estimate_q_error_max`` / ``estimate_q_error_geomean``).  The same
+    queries are then re-run under the naive appearance order (``naive_*``
+    fields, ``planner_rows_match``), and a third time under the cost
+    policy with the recorded profiles fed back as selectivity
+    corrections (``feedback_*`` fields, ``feedback_rows_match``).  CI
+    gates on the deltas: the planner must beat the textual order, and
+    the feedback-corrected plans must return bit-identical rows and
+    never be worse than the stats-only cost plans.
     """
+    from repro.obs.feedback import FeedbackStore
+
     config = ClusterConfig(
         num_machines=spec["machines"], seed=seed, bulk_kernels=bulk_kernels
     )
@@ -165,17 +171,36 @@ def run_planner_workload(key, spec, seed=0, bulk_kernels=True):
         likes_edges=spec["likes"],
     )
     engine = PgxdAsyncEngine(graph, config)
-    cost_options = PlannerOptions(scheduling=SchedulingPolicy.COST)
+    cost_options = PlannerOptions(scheduling=SchedulingPolicy.COST,
+                                  profile=True)
     naive_options = PlannerOptions()
     senders = config.num_machines - 1
     record = _blank_record(len(queries))
     started = time.perf_counter()
     cost_rows = []
+    store = FeedbackStore()
+    q_errors = []
     for query in queries:
         result = engine.query(query, cost_options)
         _merge_result(record, result, senders, config)
         cost_rows.append(sorted(result.rows))
+        profile = result.execution_profile()
+        if profile is not None:
+            q_errors.extend(
+                row["q_error"] for row in profile.operators
+                if row["q_error"] is not None
+            )
+            store.record(result.plan.query, result.plan.graph,
+                         result.plan.choice, profile)
     _finish_record(record, time.perf_counter() - started)
+    if q_errors:
+        product = 1.0
+        for error in q_errors:
+            product *= error
+        record["estimate_q_error_max"] = round(max(q_errors), 4)
+        record["estimate_q_error_geomean"] = round(
+            product ** (1.0 / len(q_errors)), 4
+        )
     naive = {"ticks": 0, "total_ops": 0, "work_messages": 0}
     rows_match = True
     for query, expected in zip(queries, cost_rows):
@@ -189,6 +214,21 @@ def run_planner_workload(key, spec, seed=0, bulk_kernels=True):
     record["naive_total_ops"] = naive["total_ops"]
     record["naive_work_messages"] = naive["work_messages"]
     record["planner_rows_match"] = rows_match
+    feedback_options = PlannerOptions(scheduling=SchedulingPolicy.COST,
+                                      feedback=store)
+    corrected = {"ticks": 0, "total_ops": 0, "work_messages": 0}
+    feedback_rows_match = True
+    for query, expected in zip(queries, cost_rows):
+        rerun = engine.query(query, feedback_options)
+        corrected["ticks"] += rerun.metrics.ticks
+        corrected["total_ops"] += rerun.metrics.total_ops
+        corrected["work_messages"] += rerun.metrics.work_messages
+        if sorted(rerun.rows) != expected:
+            feedback_rows_match = False
+    record["feedback_ticks"] = corrected["ticks"]
+    record["feedback_total_ops"] = corrected["total_ops"]
+    record["feedback_work_messages"] = corrected["work_messages"]
+    record["feedback_rows_match"] = feedback_rows_match
     return record
 
 

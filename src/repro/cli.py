@@ -69,7 +69,14 @@ def build_parser():
                        help="print the stage plan instead of executing")
     query.add_argument("--explain-analyze", action="store_true",
                        help="print the stage plan annotated with runtime "
-                            "counters after executing")
+                            "counters, estimated-vs-actual rows "
+                            "(q-error), and per-machine skew after "
+                            "executing")
+    query.add_argument("--feedback-store", metavar="PATH",
+                       help="planner feedback store (JSON): recorded "
+                            "actuals correct the cost model's "
+                            "selectivities under --plan cost, and this "
+                            "run's profile is recorded back")
     query.add_argument("--limit-print", type=int, default=20,
                        help="max rows to print (default 20)")
 
@@ -272,9 +279,9 @@ def build_parser():
              "degree histograms, edge fan-out, property sketches)",
     )
     _add_graph_args(stats)
+    _add_format_args(stats)
     stats.add_argument("--json", action="store_true",
-                       help="print the serialized statistics document "
-                            "instead of the table")
+                       help="deprecated alias for --format json")
     stats.add_argument("--top", type=int, default=5,
                        help="fan-out triples / top values shown per "
                             "section in table mode (default 5)")
@@ -282,6 +289,16 @@ def build_parser():
                        help="also save the graph as JSON with the "
                             "statistics embedded (load_json re-attaches "
                             "them without recollection)")
+
+    feedback = subparsers.add_parser(
+        "feedback",
+        help="inspect a planner feedback store: recorded plan-vs-actual "
+             "profiles and the selectivity corrections they produce",
+    )
+    feedback.add_argument("store", metavar="PATH",
+                          help="feedback store JSON written by "
+                               "`repro query --feedback-store`")
+    _add_format_args(feedback)
 
     analyze = subparsers.add_parser("analyze", help="run a BSP algorithm")
     _add_graph_args(analyze)
@@ -296,6 +313,15 @@ def build_parser():
     analyze.add_argument("--top", type=int, default=10,
                          help="print the top-N vertices")
     return parser
+
+
+def _add_format_args(sub):
+    """The shared report-output convention (matches ``repro lint``)."""
+    sub.add_argument("--format", choices=["text", "json"], default="text",
+                     help="report format on stdout (default: text)")
+    sub.add_argument("--json-out", metavar="PATH",
+                     help="also write the JSON report to PATH "
+                          "(CI artifact)")
 
 
 def _add_query_args(sub):
@@ -430,6 +456,14 @@ def _print_abort(aborted):
 
 def cmd_query(args):
     engine, options = _build_engine(args, trace=args.explain_analyze)
+    options.profile = args.explain_analyze
+    store = None
+    if args.feedback_store:
+        from repro.obs.feedback import FeedbackStore
+
+        store = FeedbackStore(args.feedback_store)
+        options.feedback = store
+        options.profile = True  # record this run's actuals back
     if args.explain:
         plan = engine.plan(args.pgql, options)
         print(plan.describe())
@@ -442,6 +476,17 @@ def cmd_query(args):
     print()
     print("rows     :", len(result.rows))
     print("metrics  :", result.metrics.summary())
+    if store is not None and result.plan is not None:
+        profile = result.execution_profile()
+        if profile is not None:
+            recorded = store.record(
+                result.plan.query, result.plan.graph,
+                getattr(result.plan, "choice", None), profile,
+            )
+            if recorded is not None:
+                store.save()
+                print("feedback :", "recorded %s -> %s"
+                      % (recorded, args.feedback_store))
     if args.explain_analyze:
         print()
         print(result.explain_analyze())
@@ -893,15 +938,52 @@ def cmd_stats(args):
     graph = load_graph(args)
     stats = graph.statistics()
     if args.json:
+        print("note: --json is deprecated; use --format json",
+              file=sys.stderr)
+    if args.json or args.format == "json":
         print(stats.to_json())
     else:
         print(stats.table(top=args.top))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(stats.to_json())
+            handle.write("\n")
     if args.out:
         from repro.graph import save_json
 
         save_json(graph, args.out, include_stats=True)
         print()
         print("graph + statistics written to", args.out)
+    return 0
+
+
+def cmd_feedback(args):
+    import json
+
+    from repro.obs.feedback import FeedbackStore, q_error
+
+    if not os.path.exists(args.store):
+        raise SystemExit("repro feedback: no such store: %s" % args.store)
+    store = FeedbackStore(args.store)
+    doc = store.to_dict()
+    if args.format == "json":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print("feedback store: %s (%d quer%s)"
+              % (args.store, len(store), "y" if len(store) == 1 else "ies"))
+        for fingerprint, entry in store.entries():
+            print()
+            print("%s  %s" % (fingerprint, entry["pgql"]))
+            print("  order=%s  common_neighbors=%s"
+                  % (entry["order"], entry["use_common_neighbors"]))
+            for row in entry["operators"]:
+                print("  %-46s est~%-10.2f actual=%-8d q=%.2f"
+                      % (row["op"], row["estimated"], row["actual"],
+                         q_error(row["estimated"], row["actual"])))
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return 0
 
 
@@ -966,6 +1048,8 @@ def main(argv=None):
         return cmd_traffic(args)
     if args.command == "stats":
         return cmd_stats(args)
+    if args.command == "feedback":
+        return cmd_feedback(args)
     return cmd_analyze(args)
 
 

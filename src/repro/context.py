@@ -37,6 +37,9 @@ class ExecutionContext:
     priority: int = 1
     #: Tenant identity for scoped diagnostics and telemetry labels.
     query_id: str = None
+    #: Optional repro.obs.feedback.StageProfiler collecting per-stage
+    #: actual cardinalities per machine (plan-vs-actual observability).
+    profiler: object = None
 
     def replace(self, **changes):
         """Return a copy with *changes* applied."""
@@ -74,8 +77,14 @@ class ExecutionContext:
                 config.telemetry_interval if config is not None else 1
             )
             telemetry = Telemetry(interval=interval)
+        profiler = None
+        if options is not None and getattr(options, "profile", False):
+            from repro.obs.feedback import StageProfiler
+
+            profiler = StageProfiler()
         deadline = options.timeout_ticks if options is not None else None
-        context = cls(tracer=tracer, telemetry=telemetry, deadline=deadline)
+        context = cls(tracer=tracer, telemetry=telemetry, deadline=deadline,
+                      profiler=profiler)
         if overrides:
             context = context.replace(**overrides)
         return context

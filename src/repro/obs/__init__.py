@@ -58,6 +58,16 @@ from repro.obs.events import (
     WorkerSpan,
 )
 from repro.obs.export import chrome_trace, render_timeline
+from repro.obs.feedback import (
+    ExecutionProfile,
+    FeedbackStore,
+    MachineStageProfile,
+    StageProfiler,
+    build_execution_profile,
+    publish_drift,
+    q_error,
+    query_fingerprint,
+)
 from repro.obs.exporters import (
     parse_prometheus,
     parse_series_csv,
@@ -91,6 +101,14 @@ __all__ = [
     "Histogram",
     "TimeSeriesSampler",
     "MACHINE_COLUMNS",
+    "StageProfiler",
+    "MachineStageProfile",
+    "ExecutionProfile",
+    "FeedbackStore",
+    "build_execution_profile",
+    "publish_drift",
+    "q_error",
+    "query_fingerprint",
     "prometheus_text",
     "parse_prometheus",
     "registry_jsonl",

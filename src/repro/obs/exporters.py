@@ -45,8 +45,10 @@ def _label_text(labels):
 def prometheus_text(registry):
     """The registry in Prometheus text exposition format (version 0.0.4).
 
-    Families are emitted in name order, children in labelset order, so
-    the output is deterministic for a deterministic run.
+    Families are emitted in sorted name order, children in sorted
+    labelset order, so the output is deterministic (and diffable) for a
+    deterministic run.  The exposition ends with the ``# EOF`` marker so
+    scrape truncation is detectable.
     """
     lines = []
     samples_by_family = {}
@@ -69,7 +71,66 @@ def prometheus_text(registry):
             lines.append(
                 "%s%s %s" % (name, _label_text(labels), _fmt(value))
             )
+    lines.append("# EOF")
     return "\n".join(lines) + "\n"
+
+
+def _unescape(text):
+    """Invert :func:`_escape` in one left-to-right pass.
+
+    Sequential ``str.replace`` calls are wrong in either order: a
+    literal backslash-n in the original escapes to ``\\\\n``, which a
+    ``\\n``-first pass corrupts into backslash-newline, while a
+    ``\\\\``-first pass turns an escaped newline into a literal one.
+    """
+    out = []
+    index, end = 0, len(text)
+    while index < end:
+        char = text[index]
+        if char == "\\" and index + 1 < end:
+            nxt = text[index + 1]
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def _split_sample(line):
+    """Split one sample line into ``(metric, label_text, value_text)``.
+
+    The closing ``}`` is found with a quote-aware scan, so label values
+    containing spaces, braces, or escaped quotes parse correctly
+    (a bare ``rsplit`` on the last space cannot tell a value apart from
+    a label payload ending in one).  *label_text* is None for
+    label-less samples.
+    """
+    brace = line.find("{")
+    if brace == -1:
+        metric, _, value_text = line.rpartition(" ")
+        return metric, None, value_text
+    in_quote = escaped = False
+    for index in range(brace + 1, len(line)):
+        char = line[index]
+        if escaped:
+            escaped = False
+            continue
+        if char == "\\":
+            escaped = True
+            continue
+        if char == '"':
+            in_quote = not in_quote
+            continue
+        if char == "}" and not in_quote:
+            return (line[:brace], line[brace + 1:index],
+                    line[index + 1:].strip())
+    raise ValueError("unterminated label block: %r" % line)
 
 
 def parse_prometheus(text):
@@ -77,25 +138,24 @@ def parse_prometheus(text):
 
     *labels* is a frozenset of ``(label, value)`` pairs.  Only the
     subset of the format this module emits is supported — enough for
-    round-trip tests and snapshot diffing.
+    round-trip tests and snapshot diffing — but that subset round-trips
+    exactly, including label values with quotes, backslashes, newlines,
+    spaces, and braces.
     """
     out = {}
-    for line in text.splitlines():
+    # Split on newline only: str.splitlines() also breaks on \x1c-\x1e,
+    # \x85, and U+2028/U+2029, which are legal *inside* escaped label
+    # values and must not terminate a sample line.
+    for line in text.split("\n"):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        metric, value_text = line.rsplit(" ", 1)
+        metric, label_text, value_text = _split_sample(line)
         labels = {}
-        if metric.endswith("}"):
-            metric, _, label_text = metric.partition("{")
-            for part in _split_labels(label_text[:-1]):
+        if label_text:
+            for part in _split_labels(label_text):
                 label, _, raw = part.partition("=")
-                labels[label] = (
-                    raw[1:-1]
-                    .replace('\\"', '"')
-                    .replace("\\n", "\n")
-                    .replace("\\\\", "\\")
-                )
+                labels[label] = _unescape(raw[1:-1])
         value = float(value_text) if value_text != "+Inf" else float("inf")
         if value.is_integer():
             value = int(value)

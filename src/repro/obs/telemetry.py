@@ -438,6 +438,33 @@ class Telemetry:
             "stages this machine has declared COMPLETED",
             labels=("machine",),
         )
+        # Plan-vs-actual drift gauges, set by feedback.publish_drift when
+        # a stage profile was collected; declared up-front so the export
+        # has a stable family set either way.
+        self.plan_estimated_rows = registry.gauge(
+            "repro_plan_estimated_rows",
+            "cost-model estimated rows after each logical operator",
+            labels=("operator",),
+        )
+        self.plan_actual_rows = registry.gauge(
+            "repro_plan_actual_rows",
+            "measured rows surviving each logical operator",
+            labels=("operator",),
+        )
+        self.plan_q_error = registry.gauge(
+            "repro_plan_q_error",
+            "per-operator q-error max(est/actual, actual/est)",
+            labels=("operator",),
+        )
+        self.plan_q_error_max = registry.gauge(
+            "repro_plan_q_error_max",
+            "worst per-operator cardinality q-error of the run",
+        )
+        self.stage_skew_ratio = registry.gauge(
+            "repro_stage_skew_ratio",
+            "per-stage machine imbalance: max/mean of stage visits",
+            labels=("stage",),
+        )
         # Counters mirrored from MachineMetrics by the sampler (deltas,
         # so they stay correct across union-expansion merges).
         self.mirrored = {

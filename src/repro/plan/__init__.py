@@ -70,6 +70,7 @@ def plan_query(query, graph, options=None):
             choice = choose_plan(
                 query, graph,
                 force_common_neighbors=use_common_neighbors,
+                feedback=getattr(options, "feedback", None),
             )
             vertex_order = list(choice.order)
             use_common_neighbors = choice.use_common_neighbors

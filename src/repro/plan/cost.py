@@ -137,7 +137,7 @@ class PlanChoice:
 
     def __init__(self, policy, order, use_common_neighbors, scores,
                  chosen=None, alternatives=(), candidates_considered=0,
-                 forced_common_neighbors=None):
+                 forced_common_neighbors=None, feedback_ops=0):
         self.policy = policy
         self.order = tuple(order)
         self.use_common_neighbors = use_common_neighbors
@@ -147,6 +147,9 @@ class PlanChoice:
         self.alternatives = list(alternatives)
         self.candidates_considered = candidates_considered
         self.forced_common_neighbors = forced_common_neighbors
+        #: Number of recorded-actual selectivity corrections the model
+        #: applied (feedback re-planning); 0 for stats-only pricing.
+        self.feedback_ops = feedback_ops
 
     @property
     def auto_common_neighbors(self):
@@ -161,6 +164,8 @@ class PlanChoice:
         header = "planner: policy=%s" % self.policy
         if self.candidates_considered:
             header += ", candidates=%d" % self.candidates_considered
+        if self.feedback_ops:
+            header += ", feedback corrections=%d" % self.feedback_ops
         lines.append(header)
         cn_state = "on" if self.use_common_neighbors else "off"
         if self.forced_common_neighbors is not None:
@@ -204,11 +209,21 @@ class PlanChoice:
 
 
 class CostModel:
-    """Cardinality and cost estimation against one graph's statistics."""
+    """Cardinality and cost estimation against one graph's statistics.
 
-    def __init__(self, graph, stats=None):
+    *corrections* maps operator reprs to multiplicative selectivity
+    correction factors derived from a recorded execution profile
+    (``repro.obs.feedback.FeedbackStore.corrections``); each priced
+    operator whose repr appears gets its output cardinality scaled, so
+    re-pricing a previously executed plan reproduces its observed
+    cardinalities while unobserved operators keep the stats-only
+    estimate.
+    """
+
+    def __init__(self, graph, stats=None, corrections=None):
         self._stats = stats if stats is not None else graph.statistics()
         self._num_vertices = graph.num_vertices
+        self._corrections = dict(corrections) if corrections else {}
 
     @property
     def stats(self):
@@ -349,6 +364,10 @@ class CostModel:
                 )
                 current = op.dst_var
 
+            if self._corrections:
+                factor = self._corrections.get(repr(op))
+                if factor is not None:
+                    card *= factor
             stage_rows.append((repr(op), card))
 
         return CostEstimate(
@@ -500,15 +519,23 @@ def candidate_orders(query, graph, limit=ORDER_ENUM_LIMIT, scores=None):
 
 
 def choose_plan(query, graph, stats=None, force_common_neighbors=None,
-                limit=ORDER_ENUM_LIMIT):
+                limit=ORDER_ENUM_LIMIT, feedback=None):
     """Enumerate, price, and pick the min-cost plan for *query*.
 
     *force_common_neighbors* mirrors the planner option's tri-state:
     ``None`` lets the model decide per candidate (the CN operator is
     auto-enabled when the priced plan using it wins), ``True``/``False``
     pins the decision and only the vertex order is optimized.
+
+    *feedback* is an optional ``repro.obs.feedback.FeedbackStore``; when
+    it holds a recorded profile for this (query, graph) fingerprint, the
+    derived per-operator selectivity corrections flow into the model so
+    every candidate sharing an observed operator is priced against
+    measured — not just estimated — cardinalities.
     """
-    model = CostModel(graph, stats)
+    corrections = feedback.corrections(query, graph) \
+        if feedback is not None else None
+    model = CostModel(graph, stats, corrections=corrections)
     scores = model.variable_scores(query)
     orders = candidate_orders(query, graph, limit=limit, scores=scores)
 
@@ -568,6 +595,7 @@ def choose_plan(query, graph, stats=None, force_common_neighbors=None,
         alternatives=alternatives,
         candidates_considered=len(candidates),
         forced_common_neighbors=force_common_neighbors,
+        feedback_ops=len(corrections) if corrections else 0,
     )
 
 

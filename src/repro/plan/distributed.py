@@ -99,6 +99,12 @@ class Visit:
         self.hop = None  # filled in when the next visit is known
         #: Bootstrap restriction for the root visit (vertex id or None).
         self.single_vertex_id = None
+        #: Index of the logical operator this visit lowers (None for
+        #: visits the compiler inserts later, e.g. induced checks).  The
+        #: *last* visit of an operator is the one whose pass count equals
+        #: the rows surviving it — the join key plan-vs-actual profiling
+        #: (repro.obs.feedback) uses against CostEstimate.stage_rows.
+        self.op_index = None
 
     def __repr__(self):
         return "Visit(%s, %s)" % (self.kind.value, self.var)
@@ -120,8 +126,8 @@ class DistributedPlan:
 def build_distributed_plan(logical_plan):
     """Lower *logical_plan* to a :class:`DistributedPlan`."""
     builder = _Builder()
-    for op in logical_plan.ops:
-        builder.add_op(op)
+    for op_index, op in enumerate(logical_plan.ops):
+        builder.add_op(op, op_index)
     visits = builder.finish()
     return DistributedPlan(visits, logical_plan.query, logical_plan)
 
@@ -129,12 +135,14 @@ def build_distributed_plan(logical_plan):
 class _Builder:
     def __init__(self):
         self._visits = []
+        self._op_index = None
 
     @property
     def _current_var(self):
         return self._visits[-1].var if self._visits else None
 
     def _append(self, visit):
+        visit.op_index = self._op_index
         self._visits.append(visit)
 
     def _set_hop(self, hop):
@@ -148,7 +156,8 @@ class _Builder:
         self._set_hop(Hop(HopKind.VERTEX, target_var=var))
         self._append(Visit(VisitKind.INSPECT, var))
 
-    def add_op(self, op):
+    def add_op(self, op, op_index=None):
+        self._op_index = op_index
         if isinstance(op, RootVertexMatch):
             if self._visits:
                 raise PlanError("root match must be the first operator")

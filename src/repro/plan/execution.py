@@ -119,12 +119,17 @@ class CompiledStage:
         "vertex_slot",
         "single_vertex_id",
         "work_cost",
+        "op_index",
     )
 
     def __init__(self, index, kind, var):
         self.index = index
         self.kind = kind
         self.var = var
+        #: Logical-operator index this stage lowers (None for inserted
+        #: stages); joins actual pass counts against the cost model's
+        #: per-operator row estimates (repro.obs.feedback).
+        self.op_index = None
         self.label_id = None
         self.filter = None
         self.captures = []
@@ -187,7 +192,7 @@ class ExecutionPlan:
         #: scheduling policy made an order/operator decision (None for
         #: appearance order or an explicit vertex_order).
         self.choice = None
-        self._bulk_kernels = None
+        self._bulk_kernels = {}
 
     @property
     def num_stages(self):
@@ -197,21 +202,24 @@ class ExecutionPlan:
     def root(self):
         return self.stages[0]
 
-    def bulk_kernels(self):
-        """The plan's compiled bulk kernels (built once, at first use).
+    def bulk_kernels(self, profiled=False):
+        """The plan's compiled bulk kernels (built once per variant).
 
         Plan finalization is where per-stage specialization belongs —
         every check a kernel compiles in (label ids, iso slots, filters,
         captures) is fixed here.  The import is deferred so the plan
         layer stays import-independent of the runtime package until a
-        machine actually asks for the fast path.
+        machine actually asks for the fast path.  *profiled* selects the
+        stage-cardinality-instrumented variant (repro.obs.feedback);
+        the default variant contains no profiling instructions at all,
+        so collection off costs literally nothing on this path.
         """
-        kernels = self._bulk_kernels
+        kernels = self._bulk_kernels.get(profiled)
         if kernels is None:
             from repro.runtime.kernels import compile_plan_kernels
 
-            kernels = compile_plan_kernels(self)
-            self._bulk_kernels = kernels
+            kernels = compile_plan_kernels(self, profiled=profiled)
+            self._bulk_kernels[profiled] = kernels
         return kernels
 
     def describe(self):
@@ -259,6 +267,7 @@ def build_execution_plan(dplan, graph, options=None):
 
     for index, visit in enumerate(visits):
         stage = CompiledStage(index, visit.kind, visit.var)
+        stage.op_index = getattr(visit, "op_index", None)
 
         if index == 0:
             stage.single_vertex_id = visit.single_vertex_id

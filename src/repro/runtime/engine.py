@@ -27,7 +27,7 @@ class QueryResult:
     """The outcome of one query execution."""
 
     def __init__(self, result_set, metrics, plan, stage_profile=None,
-                 trace=None, telemetry=None):
+                 trace=None, telemetry=None, profiler=None):
         self.result_set = result_set
         self.metrics = metrics
         self.plan = plan
@@ -44,6 +44,25 @@ class QueryResult:
         #: time series) of this execution, or None when live telemetry
         #: was off (the default).
         self.telemetry = telemetry
+        #: The :class:`repro.obs.feedback.StageProfiler` that collected
+        #: per-machine actual stage cardinalities, or None when profile
+        #: collection was off (the default).
+        self.profiler = profiler
+        self._execution_profile = None
+
+    def execution_profile(self):
+        """The plan-vs-actual :class:`~repro.obs.feedback.
+        ExecutionProfile` (built once, on first use), or None when the
+        run collected no profile."""
+        if self.profiler is None or self.plan is None:
+            return None
+        if self._execution_profile is None:
+            from repro.obs.feedback import build_execution_profile
+
+            self._execution_profile = build_execution_profile(
+                self.plan, self.profiler
+            )
+        return self._execution_profile
 
     def explain_analyze(self):
         """Stage plan annotated with runtime counters, as text.
@@ -56,6 +75,7 @@ class QueryResult:
         if self.plan is None or self.stage_profile is None:
             return "no stage profile available"
         profile = self.trace.profile() if self.trace is not None else None
+        exec_profile = self.execution_profile()
         lines = []
         if self.trace is not None and self.trace.dropped:
             lines.append(
@@ -86,6 +106,12 @@ class QueryResult:
                     stage.hop.kind.value,
                 )
             )
+            if exec_profile is not None \
+                    and stage.index < len(exec_profile.stages):
+                totals = exec_profile.stages[stage.index]
+                line += "  scanned=%d  emitted=%d" % (
+                    totals["scanned"], totals["emitted"]
+                )
             if profile is not None:
                 stats = profile.stage_stats(stage.index)
                 completed = stats["completed_at"]
@@ -100,6 +126,11 @@ class QueryResult:
                     )
                 )
             lines.append(line)
+        if exec_profile is not None:
+            extra = exec_profile.summary_lines()
+            if extra:
+                lines.append("")
+                lines.extend(extra)
         return "\n".join(lines)
 
     @property
@@ -243,8 +274,13 @@ class PgxdAsyncEngine(Engine):
         simulator.query_id = context.query_id
         if context.deadline is not None:
             simulator.deadline = context.deadline
-        machines = [
-            QueryMachine(
+        profiler = context.profiler
+        machines = []
+        for machine_id in range(config.num_machines):
+            profile_view = None
+            if profiler is not None:
+                profile_view = profiler.machine(machine_id, plan.num_stages)
+            machines.append(QueryMachine(
                 plan,
                 self.dist_graph,
                 machine_id,
@@ -253,9 +289,8 @@ class PgxdAsyncEngine(Engine):
                 debug_checks=self.debug_checks,
                 tracer=tracer,
                 telemetry=telemetry,
-            )
-            for machine_id in range(config.num_machines)
-        ]
+                profiler=profile_view,
+            ))
         simulator.attach(machines)
         return simulator, machines
 
@@ -285,10 +320,22 @@ class PgxdAsyncEngine(Engine):
                 plan.query.vertex_vars(),
                 plan.query.edge_vars(),
             )
+        profiler = context.profiler
+        if profiler is not None:
+            profiler.absorb(machines)
+            if context.telemetry is not None:
+                from repro.obs.feedback import (
+                    build_execution_profile,
+                    publish_drift,
+                )
+
+                publish_drift(context.telemetry,
+                              build_execution_profile(plan, profiler))
         return QueryResult(result_set, metrics, plan,
                            stage_profile=stage_profile,
                            trace=context.tracer,
-                           telemetry=context.telemetry)
+                           telemetry=context.telemetry,
+                           profiler=profiler)
 
 
 def _coerce_context(context, tracer, deadline, telemetry):

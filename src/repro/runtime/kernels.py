@@ -118,23 +118,32 @@ class PlanKernels:
         return run_bulk(rt, comp, budget, self.stage_kernels)
 
 
-def compile_plan_kernels(plan):
+def compile_plan_kernels(plan, profiled=False):
     """Build one kernel per stage of *plan* (at plan-finalize time).
 
     NEIGHBOR and OUTPUT stages — the hot path — get textually generated
     specialized kernels; the remaining hop kinds run their existing
     cursors through a generic batched driver with identical semantics.
+
+    With ``profiled=True`` the generated kernels additionally maintain
+    the per-machine ``scanned``/``emitted`` profile counters
+    (``repro.obs.feedback``) at exactly the points the hop cursors do.
+    The default variant contains literally no profiling instructions, so
+    profiling off costs nothing on the kernel fast path; machines pick
+    the variant from whether a profiler view is attached.
     """
     kernels = []
     for stage in plan.stages:
         kind = stage.hop.kind
         if kind is HopKind.NEIGHBOR:
-            kernels.append(_compile_neighbor_kernel(plan, stage))
+            kernels.append(_compile_neighbor_kernel(plan, stage, profiled))
         elif kind is HopKind.VERTEX:
-            kernels.append(_compile_vertex_kernel(plan, stage))
+            kernels.append(_compile_vertex_kernel(plan, stage, profiled))
         elif kind is HopKind.OUTPUT:
-            kernels.append(_compile_output_kernel(plan, stage))
+            kernels.append(_compile_output_kernel(plan, stage, profiled))
         else:
+            # Cursor-driven stages carry their own (guarded)
+            # instrumentation; one generic kernel serves both variants.
             kernels.append(_generic_kernel(stage))
     return PlanKernels(kernels)
 
@@ -376,7 +385,7 @@ def _finish_kernel(lines, ns, stage):
     return kernel
 
 
-def _compile_neighbor_kernel(plan, stage):
+def _compile_neighbor_kernel(plan, stage, profiled=False):
     """Generate the specialized NEIGHBOR kernel for *stage*.
 
     The adjacency run is walked over the graph's flat python-list CSR
@@ -449,6 +458,11 @@ def _compile_neighbor_kernel(plan, stage):
     # Flushed buffers are emptied in place, never replaced, so a list
     # looked up once stays the live (stage, dest) buffer all run long.
     w.append("    bufs = {}")
+    if profiled:
+        # Profiled variant only: the machine installs these kernels iff
+        # a profiler view is attached, so no None guard is needed here.
+        w.append("    PSC = rt.profiler.scanned")
+        w.append("    PEM = rt.profiler.emitted")
     w.append("    while True:")
     w.append("        if pos >= end:")
     w.append("            ops += %d" % wc_h)
@@ -461,6 +475,10 @@ def _compile_neighbor_kernel(plan, stage):
     w.append("        eid = EIDS[pos]")
     w.append("        pos += 1")
     w.append("        ops += %d" % wc_h)
+    if profiled:
+        # Same counting point as _NeighborCursor.advance: every neighbor
+        # inspected, blocked-then-replayed attempts included.
+        w.append("        PSC[%d] += 1" % s)
     cond = _edge_accept_condition(hop, ns)
     if cond:
         w.append("        if %s:" % cond)
@@ -471,6 +489,9 @@ def _compile_neighbor_kernel(plan, stage):
     w.append(body_ind + "out_ctx = %s" % out_ctx)
     w.append(body_ind + "dest = owners[target]")
     w.append(body_ind + "if dest == mid:")
+    if profiled:
+        # route() counts an emission on either local delivery form.
+        w.append(body_ind + "    PEM[%d] += 1" % s)
     w.append(body_ind + "    if len(local_q) < cap:")
     w.append(body_ind + "        local_q.append(out_ctx)")
     w.append(body_ind + "        SL[%d] += 1" % s_next)
@@ -514,6 +535,8 @@ def _compile_neighbor_kernel(plan, stage):
     w.append(body_ind + "        if cbc > M.peak_buffered_contexts:")
     w.append(body_ind + "            M.peak_buffered_contexts = cbc")
     w.append(body_ind + "        remote_in[%d] += 1" % s_next)
+    if profiled:
+        w.append(body_ind + "        PEM[%d] += 1" % s)
     w.append(body_ind + "        if len(buf) >= bulk:")
     w.append(body_ind + "            flush(%d, dest, buf)" % s_next)
     w.append(body_ind + "    elif rt.route(comp, %d, dest, out_ctx):"
@@ -531,7 +554,7 @@ def _compile_neighbor_kernel(plan, stage):
     return _finish_kernel(w, ns, stage)
 
 
-def _compile_vertex_kernel(plan, stage):
+def _compile_vertex_kernel(plan, stage, profiled=False):
     """Generate the specialized VERTEX kernel for *stage*.
 
     Mirrors ``_VertexCursor``: without an edge requirement the hop is
@@ -594,6 +617,8 @@ def _compile_vertex_kernel(plan, stage):
     w.append("    pos = state.pos")
     w.append("    end = state.end")
     w.append("    dest = rt.owner_list[ctx[%d]]" % hop.target_slot)
+    if profiled:
+        w.append("    PSC = rt.profiler.scanned")
     w.append("    while True:")
     w.append("        if pos >= end:")
     w.append("            ops += %d" % wc_h)
@@ -604,6 +629,10 @@ def _compile_vertex_kernel(plan, stage):
     w.append("        eid = eids[pos]")
     w.append("        pos += 1")
     w.append("        ops += %d" % wc_h)
+    if profiled:
+        # Same counting point as _VertexCursor.advance (edge-checked
+        # form); the pure-inspection form scans nothing on either path.
+        w.append("        PSC[%d] += 1" % stage.index)
     cond = _edge_accept_condition(hop, ns)
     if cond:
         w.append("        if %s:" % cond)
@@ -626,7 +655,7 @@ def _compile_vertex_kernel(plan, stage):
     return _finish_kernel(w, ns, stage)
 
 
-def _compile_output_kernel(plan, stage):
+def _compile_output_kernel(plan, stage, profiled=False):
     """Generate the specialized OUTPUT kernel for *stage*.
 
     Two charged steps after the vertex function — emit, then the
@@ -656,6 +685,8 @@ def _compile_output_kernel(plan, stage):
     # Inline emit_result (machine.py): collector, counter, trace event.
     w.append("        rt.collector.add(ctx)")
     w.append("        M.results_emitted += 1")
+    if profiled:
+        w.append("        rt.profiler.emitted[-1] += 1")
     w.append("        trace = rt.trace")
     w.append("        if trace is not None:")
     w.append("            trace.emit(ResultEmitted(rt.api.now, "

@@ -47,7 +47,8 @@ class QueryMachine:
     """One simulated machine executing its share of a query."""
 
     def __init__(self, plan, dist_graph, machine_id, api, config,
-                 debug_checks=False, tracer=None, telemetry=None):
+                 debug_checks=False, tracer=None, telemetry=None,
+                 profiler=None):
         self.plan = plan
         self.graph = plan.graph
         self.local = dist_graph.local(machine_id)
@@ -76,6 +77,10 @@ class QueryMachine:
         #: Optional repro.obs.Telemetry shared by every machine; None
         #: (the default) costs the same single pointer comparison.
         self.telemetry = telemetry
+        #: Optional per-machine MachineStageProfile view (plan-vs-actual
+        #: profiling, ``repro.obs.feedback``); None keeps every counting
+        #: site behind the same single pointer comparison.
+        self.profiler = profiler
 
         num_stages = plan.num_stages
         num_machines = config.num_machines
@@ -132,7 +137,7 @@ class QueryMachine:
         #: run the micro-stepped cursor path.  Blocking mode always uses
         #: cursors: ABL4 is precisely about per-message synchrony.
         if config.bulk_kernels and not config.blocking_remote:
-            self.kernels = plan.bulk_kernels()
+            self.kernels = plan.bulk_kernels(profiled=profiler is not None)
         else:
             self.kernels = None
 
@@ -342,6 +347,8 @@ class QueryMachine:
     def emit_result(self, ctx):
         self.collector.add(ctx)
         self.metrics.results_emitted += 1
+        if self.profiler is not None:
+            self.profiler.emitted[-1] += 1
         if self.trace is not None:
             self.trace.emit(ResultEmitted(self.api.now, self.machine_id))
 
@@ -406,14 +413,22 @@ class QueryMachine:
                 self.metrics.buffered_delta(_item_weight(item))
             else:
                 self.push_frame(comp, frame_for_item(self, stage_index, item))
+            if self.profiler is not None:
+                self.profiler.emitted[stage_index - 1] += _item_weight(item)
             return True
         if self.config.blocking_remote:
             if self._route_blocking(stage_index, dest, item):
                 self.stage_remote_in[stage_index] += _item_weight(item)
+                if self.profiler is not None:
+                    self.profiler.emitted[stage_index - 1] += (
+                        _item_weight(item)
+                    )
                 return True
             return False
         if self._enqueue(stage_index, dest, item):
             self.stage_remote_in[stage_index] += _item_weight(item)
+            if self.profiler is not None:
+                self.profiler.emitted[stage_index - 1] += _item_weight(item)
             return True
         self.last_refused = (stage_index, dest)
         self.metrics.flow_control_blocks += 1
