@@ -1,11 +1,16 @@
 """Invariant-aware static analysis for the repro codebase (`repro lint`).
 
-A self-contained, stdlib-``ast``-based rule engine that machine-checks
-the cross-cutting contracts the paper's guarantees rest on — simulator
-determinism (RPR001), zero-cost-off instrumentation (RPR002, the
-TXT1–TXT3 contract), message-protocol exhaustiveness (RPR003), plus the
-general hygiene rules RPR004/RPR005.  See ``docs/static-analysis.md``
-for the catalogue and workflow.
+A self-contained, ``ast``-based rule engine built on a real control-flow
+graph and forward-dataflow framework (:mod:`repro.analysis.cfg`,
+:mod:`repro.analysis.dataflow`) that machine-checks the cross-cutting
+contracts the paper's guarantees rest on — simulator determinism
+(RPR001), zero-cost-off instrumentation (RPR002, the TXT1–TXT3
+contract), message-protocol exhaustiveness (RPR003), iteration-order
+determinism (RPR006), reservation pairing on every CFG path (RPR007),
+the kernel-codegen audit (RPR008), cross-scope isolation (RPR009), plus
+the general hygiene rules RPR004/RPR005.  Everything except RPR008's
+dynamic half is stdlib-only and never executes scanned code.  See
+``docs/static-analysis.md`` for the catalogue and workflow.
 
 Programmatic use::
 
@@ -20,10 +25,13 @@ from repro.analysis.baseline import (
     BaselineEntry,
     SCHEMA as BASELINE_SCHEMA,
     load_baseline,
+    prune_baseline,
     write_baseline,
 )
 from repro.analysis.catalog import explain, render_catalog
+from repro.analysis.cfg import CFG, Block, build_cfg
 from repro.analysis.core import Finding, Rule, SEVERITIES, SourceModule
+from repro.analysis.dataflow import ForwardDataflow, iter_scopes
 from repro.analysis.report import json_report, summary_line, text_report
 from repro.analysis.rules import RULE_CLASSES, default_rules, rule_by_id
 from repro.analysis.runner import (
@@ -32,25 +40,33 @@ from repro.analysis.runner import (
     analyze,
     discover_baseline,
 )
+from repro.analysis.sarif import sarif_report
 
 __all__ = [
     "AnalysisResult",
     "BASELINE_FILENAME",
     "BASELINE_SCHEMA",
     "BaselineEntry",
+    "Block",
+    "CFG",
     "Finding",
+    "ForwardDataflow",
     "RULE_CLASSES",
     "Rule",
     "SEVERITIES",
     "SourceModule",
     "analyze",
+    "build_cfg",
     "default_rules",
     "discover_baseline",
     "explain",
+    "iter_scopes",
     "json_report",
     "load_baseline",
+    "prune_baseline",
     "render_catalog",
     "rule_by_id",
+    "sarif_report",
     "summary_line",
     "text_report",
     "write_baseline",

@@ -22,9 +22,11 @@ _REQUIRED = ("rule", "path", "pattern", "comment")
 class BaselineEntry:
     """One reviewed whitelist entry."""
 
-    __slots__ = ("rule", "path", "symbol", "pattern", "comment")
+    __slots__ = ("rule", "path", "symbol", "pattern", "comment",
+                 "snippet_hash")
 
-    def __init__(self, rule, path, pattern, comment, symbol=None):
+    def __init__(self, rule, path, pattern, comment, symbol=None,
+                 snippet_hash=None):
         if not comment or not str(comment).strip():
             raise AnalysisError(
                 "baseline entry %s %s %s has no comment — every "
@@ -36,6 +38,11 @@ class BaselineEntry:
         self.symbol = symbol
         self.pattern = pattern
         self.comment = comment
+        #: Optional normalized-snippet hash: when present, the entry
+        #: only covers a finding whose anchored source text still
+        #: hashes the same — editing the whitelisted line re-surfaces
+        #: the finding for re-review.
+        self.snippet_hash = snippet_hash
 
     def matches(self, finding):
         return (
@@ -43,6 +50,8 @@ class BaselineEntry:
             and finding.path == self.path
             and finding.pattern == self.pattern
             and (self.symbol is None or finding.symbol == self.symbol)
+            and (self.snippet_hash is None
+                 or finding.snippet_hash == self.snippet_hash)
         )
 
     def to_dict(self):
@@ -54,6 +63,8 @@ class BaselineEntry:
         }
         if self.symbol is not None:
             entry["symbol"] = self.symbol
+        if self.snippet_hash is not None:
+            entry["snippet_hash"] = self.snippet_hash
         return entry
 
     def describe(self):
@@ -82,6 +93,7 @@ def load_baseline(path):
         entries.append(BaselineEntry(
             raw["rule"], raw["path"], raw["pattern"], raw["comment"],
             symbol=raw.get("symbol"),
+            snippet_hash=raw.get("snippet_hash"),
         ))
     return entries
 
@@ -125,6 +137,7 @@ def write_baseline(findings, path,
             seen[key] = BaselineEntry(
                 finding.rule, finding.path, finding.pattern, comment,
                 symbol=finding.symbol,
+                snippet_hash=finding.snippet_hash,
             )
     document = {
         "schema": SCHEMA,
@@ -134,3 +147,31 @@ def write_baseline(findings, path,
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return len(seen)
+
+
+def prune_baseline(path, stale_entries):
+    """Rewrite the baseline at *path* without *stale_entries*.
+
+    Comments and field layout of the surviving entries are preserved
+    (the file is re-read and re-emitted entry for entry).  Returns the
+    list of dropped entries.
+    """
+    entries = load_baseline(path)
+    stale_keys = {
+        (entry.rule, entry.path, entry.symbol, entry.pattern,
+         entry.snippet_hash)
+        for entry in stale_entries
+    }
+    kept, dropped = [], []
+    for entry in entries:
+        key = (entry.rule, entry.path, entry.symbol, entry.pattern,
+               entry.snippet_hash)
+        (dropped if key in stale_keys else kept).append(entry)
+    document = {
+        "schema": SCHEMA,
+        "entries": [entry.to_dict() for entry in kept],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return dropped

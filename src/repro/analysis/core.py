@@ -6,8 +6,9 @@ every rule works on those parse trees — nothing is ever imported or
 executed.  Three ideas organize the package:
 
 * a :class:`Finding` is one violation at one source location, carrying a
-  *fingerprint* — ``(rule, path, symbol, pattern)`` — that is stable
-  across line-number churn, so baselines don't rot on unrelated edits;
+  *fingerprint* — ``(rule, path, symbol, pattern, snippet_hash)`` — that
+  is stable across line-number churn (the snippet hash normalizes
+  whitespace before hashing), so baselines don't rot on unrelated edits;
 * a :class:`SourceModule` is one parsed file plus the metadata rules
   need: its dotted module name (for scope checks), its per-line
   ``# repro: allow(...)`` suppressions, and its parse tree;
@@ -17,6 +18,7 @@ executed.  Three ideas organize the package:
 """
 
 import ast
+import hashlib
 import io
 import os
 import re
@@ -38,11 +40,11 @@ class Finding:
 
     __slots__ = (
         "rule", "severity", "path", "module", "line", "col", "symbol",
-        "message", "pattern",
+        "message", "pattern", "snippet_hash",
     )
 
     def __init__(self, rule, severity, path, module, line, col, symbol,
-                 message, pattern):
+                 message, pattern, snippet_hash=None):
         if severity not in SEVERITIES:
             raise AnalysisError("unknown severity: %r" % (severity,))
         self.rule = rule
@@ -54,10 +56,19 @@ class Finding:
         self.symbol = symbol
         self.message = message
         self.pattern = pattern
+        #: Hash of the whitespace-normalized source snippet the finding
+        #: anchors to (None when no source segment is recoverable).
+        self.snippet_hash = snippet_hash
 
     def fingerprint(self):
-        """Line-number-independent identity used for baseline matching."""
-        return (self.rule, self.path, self.symbol, self.pattern)
+        """Line-number-independent identity used for baseline matching.
+
+        Built from the rule, path, enclosing qualname, pattern, and the
+        normalized-snippet hash — never from line numbers, so baselines
+        survive unrelated edits that merely shift code around.
+        """
+        return (self.rule, self.path, self.symbol, self.pattern,
+                self.snippet_hash)
 
     def to_dict(self):
         return {
@@ -70,6 +81,7 @@ class Finding:
             "symbol": self.symbol,
             "message": self.message,
             "pattern": self.pattern,
+            "snippet_hash": self.snippet_hash,
         }
 
     def __repr__(self):
@@ -158,6 +170,25 @@ def load_module(abspath, root=None):
     )
 
 
+def snippet_hash(source, node):
+    """Hash of the whitespace-normalized source text behind *node*.
+
+    Normalization (strip + collapse internal whitespace runs) makes the
+    hash survive re-indentation and line-wrapping; only a change to the
+    tokens themselves produces a new fingerprint.
+    """
+    segment = None
+    if source and getattr(node, "lineno", None):
+        try:
+            segment = ast.get_source_segment(source, node)
+        except (TypeError, ValueError):
+            segment = None
+    if segment is None:
+        return None
+    normalized = " ".join(segment.split())
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()[:16]
+
+
 def package_root(abspath):
     """Directory containing the topmost package of *abspath*."""
     directory = os.path.dirname(os.path.abspath(abspath))
@@ -236,6 +267,7 @@ class Rule:
             symbols.get(node) or _symbol_at(module.tree, node),
             message,
             pattern,
+            snippet_hash=snippet_hash(module.source, node),
         )
 
 

@@ -1,0 +1,523 @@
+"""Client dataflow analyses for the determinism and flow-control rules.
+
+Two analyses live here, both built on the shared CFG/dataflow framework:
+
+:class:`SetTypeAnalysis` (RPR006)
+    A *must* analysis tracking which names and attributes definitely
+    hold a ``set`` (or a dict built from a set, whose view order is the
+    set's order).  Iterating such a value is order-nondeterministic
+    under hash randomization, so a loop over one that emits messages or
+    charges metrics breaks the bit-determinism contract.
+
+:class:`ReservationAnalysis` (RPR007)
+    A *may* analysis tracking open flow-control reservations
+    (``FlowControl.reserve`` / ``QueryMachine.reserve_items``).  A
+    token reaching the scope's normal exit means some path leaks
+    reserved quota — the ``inflight + reserved <= limit`` invariant
+    then decays monotonically until the query wedges.
+"""
+
+import ast
+
+from .dataflow import ForwardDataflow
+from .guards import dotted_parts, _key
+
+
+# ---------------------------------------------------------------------------
+# RPR006 support: set-typed value tracking
+# ---------------------------------------------------------------------------
+
+#: ``set`` methods returning another set.
+_SET_PRODUCING_METHODS = frozenset({
+    "intersection", "union", "difference", "symmetric_difference", "copy",
+})
+
+
+class SetTypeAnalysis(ForwardDataflow):
+    """Track keys that *must* hold a set / set-keyed dict.
+
+    The fact is ``(sets, setdicts)`` — two frozensets of dotted keys.
+    ``sets`` holds values of type ``set``/``frozenset``; ``setdicts``
+    holds dicts whose keys came from a set (``dict.fromkeys(s)``, dict
+    comprehensions over a set), so ``.keys()``/``.items()``/``.values()``
+    views inherit the nondeterministic order.
+
+    *set_methods* optionally names methods of the enclosing class whose
+    return value is known to be a set (``self._helper()`` call sites
+    then classify as sets); *seed_attrs* pre-loads ``self.<attr>`` keys
+    known to hold sets (assigned set literals anywhere in the class).
+    """
+
+    def __init__(self, set_methods=(), seed_attrs=()):
+        self.set_methods = frozenset(set_methods)
+        self.seed_attrs = frozenset(seed_attrs)
+
+    def initial(self):
+        return (frozenset(self.seed_attrs), frozenset())
+
+    def join(self, a, b):
+        return (a[0] & b[0], a[1] & b[1])
+
+    def transfer(self, elem, fact):
+        kind, node = elem
+        if kind == "bind":
+            return self._invalidate_target(fact, node)
+        if kind == "loop-iter":
+            # The loop target is invalidated by the head's bind elem.
+            return fact
+        if kind != "stmt":
+            return fact
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            return self._assign(fact, node.targets[0], node.value)
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            return self._assign(fact, node.target, node.value)
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                fact = self._invalidate_target(fact, target)
+            return fact
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                fact = self._invalidate_target(fact, target)
+            return fact
+        return fact
+
+    # -- helpers -------------------------------------------------------
+    def _assign(self, fact, target, value):
+        fact = self._invalidate_target(fact, target)
+        key = _key(target)
+        if key is None:
+            return fact
+        sets, setdicts = fact
+        classification = self.classify(value, fact)
+        if classification == "set":
+            sets = sets | {key}
+        elif classification == "setdict":
+            setdicts = setdicts | {key}
+        return (sets, setdicts)
+
+    def _invalidate_target(self, fact, target):
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                fact = self._invalidate_target(fact, element)
+            return fact
+        if isinstance(target, ast.Starred):
+            return self._invalidate_target(fact, target.value)
+        key = _key(target)
+        if key is None:
+            return fact
+        prefix = key + "."
+        sets, setdicts = fact
+        sets = frozenset(k for k in sets
+                         if k != key and not k.startswith(prefix))
+        setdicts = frozenset(k for k in setdicts
+                             if k != key and not k.startswith(prefix))
+        return (sets, setdicts)
+
+    def classify(self, expr, fact):
+        """Classify *expr* as "set", "setdict", or None (unknown)."""
+        sets, setdicts = fact
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "set"
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            key = _key(expr)
+            if key in sets:
+                return "set"
+            if key in setdicts:
+                return "setdict"
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return "set"
+            if isinstance(func, ast.Attribute):
+                # set-producing methods on a known set
+                if func.attr in _SET_PRODUCING_METHODS \
+                        and self.classify(func.value, fact) == "set":
+                    return "set"
+                # dict.fromkeys(some_set) -> keys iterate in set order
+                if func.attr == "fromkeys" and expr.args \
+                        and isinstance(func.value, ast.Name) \
+                        and func.value.id == "dict" \
+                        and self.classify(expr.args[0], fact) == "set":
+                    return "setdict"
+                # self._helper() where _helper is known to return a set
+                chain = dotted_parts(func)
+                if chain is not None and len(chain) == 2 \
+                        and chain[0] == "self" \
+                        and chain[1] in self.set_methods:
+                    return "set"
+            return None
+        if isinstance(expr, ast.BinOp) \
+                and isinstance(expr.op, (ast.BitOr, ast.BitAnd,
+                                         ast.BitXor, ast.Sub)):
+            if self.classify(expr.left, fact) == "set" \
+                    or self.classify(expr.right, fact) == "set":
+                return "set"
+            return None
+        if isinstance(expr, ast.IfExp):
+            if self.classify(expr.body, fact) == "set" \
+                    and self.classify(expr.orelse, fact) == "set":
+                return "set"
+            return None
+        if isinstance(expr, ast.DictComp) and expr.generators:
+            first = expr.generators[0]
+            if self.classify(first.iter, fact) == "set":
+                return "setdict"
+            return None
+        return None
+
+    def classify_iterable(self, expr, fact):
+        """Classify a ``for``-loop iterable, seeing through dict views.
+
+        Returns "set" / "setdict-view" / None.  ``sorted(...)`` and
+        ``list(...)``/``tuple(...)`` wrappers normalize the order, so
+        they classify as None by construction.
+        """
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            if expr.func.attr in ("keys", "values", "items") \
+                    and not expr.args:
+                if self.classify(expr.func.value, fact) == "setdict":
+                    return "setdict-view"
+                return None
+        classification = self.classify(expr, fact)
+        return "set" if classification == "set" else None
+
+
+def class_set_model(class_node):
+    """Pre-pass over a class body: seed attrs and set-returning methods.
+
+    Returns ``(set_attrs, set_methods)``:
+
+    * ``set_attrs`` — every ``self.<attr>`` assigned a syntactic set
+      expression somewhere in the class and never anything else-typed
+      we can see; used to seed per-method initial facts.
+    * ``set_methods`` — methods whose every ``return <value>``
+      classifies as a set under the seeded analysis (and at least one
+      valued return exists).  One level deep, no fixpoint: enough to
+      catch helper methods like ``_higher_neighbors`` returning a
+      built set.
+    """
+    candidate = {}
+    probe = SetTypeAnalysis()
+    for node in ast.walk(class_node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            value = node.value
+            if value is None:
+                continue
+            for target in targets:
+                chain = dotted_parts(target)
+                if chain is None or len(chain) != 2 or chain[0] != "self":
+                    continue
+                is_set = probe.classify(
+                    value, (frozenset(), frozenset())) == "set"
+                seen = candidate.get(chain[1])
+                candidate[chain[1]] = is_set if seen is None \
+                    else (seen and is_set)
+    set_attrs = frozenset(
+        "self." + attr for attr, ok in candidate.items() if ok
+    )
+
+    set_methods = set()
+    for stmt in class_node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        returns = [node for node in ast.walk(stmt)
+                   if isinstance(node, ast.Return)]
+        valued = [node for node in returns if node.value is not None]
+        if not valued or len(valued) != len(returns):
+            continue
+        analysis = SetTypeAnalysis(seed_attrs=set_attrs)
+        cfg, entry_facts = analysis.analyze(stmt.body)
+        facts_at = _facts_at_stmts(analysis, cfg, entry_facts)
+        if all(
+            analysis.classify(node.value,
+                              facts_at.get(id(node),
+                                           (frozenset(), frozenset())))
+            == "set"
+            for node in valued
+        ):
+            set_methods.add(stmt.name)
+    return set_attrs, frozenset(set_methods)
+
+
+def _facts_at_stmts(analysis, cfg, entry_facts):
+    """Map ``id(stmt) -> fact`` holding just before each stmt element."""
+    facts = {}
+    for block in cfg.blocks:
+        fact = entry_facts[block.id]
+        if fact is None:
+            fact = analysis.initial()
+        for elem in block.elems:
+            kind, node = elem
+            facts.setdefault(id(node), fact)
+            fact = analysis.transfer(elem, fact)
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# RPR007 support: reservation-pairing tracking
+# ---------------------------------------------------------------------------
+
+#: Call-chain tails that open a reservation / close one.
+RESERVE_SEGMENTS = frozenset({"reserve", "reserve_items"})
+RELEASE_SEGMENTS = frozenset({"release", "end_batch"})
+
+
+class ReservationToken(tuple):
+    """(line, col, base, holder) — one syntactic reservation site.
+
+    ``holder`` is the local name the grant was stored into ("" when the
+    call's result is dropped); releases and ownership transfers are
+    recognized through it.
+    """
+    __slots__ = ()
+
+    @property
+    def line(self):
+        return self[0]
+
+    @property
+    def base(self):
+        return self[2]
+
+    @property
+    def holder(self):
+        return self[3]
+
+
+def _call_role(node, aliases):
+    """Classify a call as "reserve"/"release"/None via its chain tail."""
+    if not isinstance(node, ast.Call):
+        return None
+    chain = dotted_parts(node.func)
+    if chain is None:
+        return None
+    if len(chain) == 1:
+        return aliases.get(chain[0])
+    if chain[-1] in RESERVE_SEGMENTS:
+        return "reserve"
+    if chain[-1] in RELEASE_SEGMENTS:
+        return "release"
+    return None
+
+
+def call_aliases(body):
+    """Map local alias names to reserve/release roles.
+
+    The generated kernels prebind methods for speed (``reserve =
+    rt.reserve_items``); a pre-pass over plain assignments lets the
+    analysis see through that.
+    """
+    aliases = {}
+    for node in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        chain = dotted_parts(node.value)
+        if chain is None or len(chain) < 2:
+            continue
+        if chain[-1] in RESERVE_SEGMENTS:
+            aliases[target.id] = "reserve"
+        elif chain[-1] in RELEASE_SEGMENTS:
+            aliases[target.id] = "release"
+    return aliases
+
+
+def _names_in(expr):
+    return {node.id for node in ast.walk(expr)
+            if isinstance(node, ast.Name)}
+
+
+class ReservationAnalysis(ForwardDataflow):
+    """May-analysis: the fact is the frozenset of possibly-open tokens.
+
+    Joins with union — a reservation open on *any* path into a block is
+    still the caller's responsibility.  Tokens close when:
+
+    * a release-role call names their holder among its arguments (a
+      release call naming no tracked holder conservatively closes all
+      tokens — the analysis favors false negatives over noise);
+    * a ``return`` expression references the holder — ownership moves
+      to the caller (``reserve_items`` itself ends with
+      ``return room + slots * bulk``);
+    * a branch proves the grant was zero: the false edge of a
+      truthiness test on the holder, or the true edge of
+      ``holder == 0`` / ``<= 0`` / ``< 1``.
+
+    Findings are the tokens still open in the fact entering the
+    normal-exit block; the raise exit is exempt (an exception already
+    abandons the machine's quota accounting to the abort path).
+    """
+
+    def __init__(self, aliases=None):
+        self.aliases = aliases or {}
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, elem, fact):
+        kind, node = elem
+        if kind == "bind":
+            return fact
+        if kind in ("test", "expr", "loop-iter"):
+            target_expr = node.iter if kind == "loop-iter" else node
+            return self._scan_expr_calls(target_expr, fact, holder=None)
+        if kind != "stmt":
+            return fact
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and node.value is not None:
+            fact = self._scan_expr_calls(node.value, fact,
+                                         holder=node.targets[0])
+            return self._rehome(node, fact)
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                fact = self._scan_expr_calls(node.value, fact, holder=None)
+                # Ownership transfer: returning a value derived from the
+                # holder hands the reservation to the caller.
+                returned = _names_in(node.value)
+                fact = frozenset(t for t in fact
+                                 if not t[3] or t[3] not in returned)
+            return fact
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # Nested scopes are analyzed separately; a reserve inside a
+            # nested def does not open a token in the enclosing frame.
+            return fact
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                fact = self._apply_call(child, fact, holder=None)
+        return fact
+
+    def refine(self, test, polarity, fact):
+        zero_holders = self._proven_zero(test, polarity)
+        if zero_holders:
+            fact = frozenset(t for t in fact if t[3] not in zero_holders)
+        return fact
+
+    # -- helpers -------------------------------------------------------
+    def _scan_expr_calls(self, expr, fact, holder):
+        """Apply every call in *expr*; the outermost call binds *holder*."""
+        outer = expr if isinstance(expr, ast.Call) else None
+        for child in ast.walk(expr):
+            if isinstance(child, ast.Call):
+                fact = self._apply_call(
+                    child, fact, holder=holder if child is outer else None
+                )
+        return fact
+
+    def _apply_call(self, node, fact, holder):
+        role = _call_role(node, self.aliases)
+        if role == "reserve":
+            holder_name = holder.id \
+                if isinstance(holder, ast.Name) else ""
+            base = dotted_parts(node.func)
+            token = ReservationToken((
+                getattr(node, "lineno", 0), getattr(node, "col_offset", 0),
+                ".".join(base) if base else "?", holder_name,
+            ))
+            return fact | {token}
+        if role == "release":
+            if not fact:
+                return fact
+            arg_names = set()
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                arg_names |= _names_in(arg)
+            matched = frozenset(t for t in fact if t[3] and t[3] in arg_names)
+            if matched:
+                return fact - matched
+            # A release that names no tracked holder (e.g. end_batch
+            # over a dict of grants) conservatively closes everything.
+            return frozenset()
+        return fact
+
+    def _rehome(self, assign, fact):
+        """Track grants moved into containers: ``resv[dest] = rem - 1``
+        re-homes ``rem``'s token onto ``resv``; ``x = rem`` onto ``x``."""
+        target = assign.targets[0]
+        value_names = _names_in(assign.value)
+        holders = {t[3] for t in fact if t[3]}
+        moved = holders & value_names
+        if not moved:
+            return fact
+        if isinstance(target, ast.Subscript) \
+                and isinstance(target.value, ast.Name):
+            new_holder = target.value.id
+        elif isinstance(target, ast.Name):
+            new_holder = target.id
+        else:
+            return fact
+        rehomed = set()
+        for token in fact:
+            if token[3] in moved:
+                rehomed.add(ReservationToken(
+                    (token[0], token[1], token[2], new_holder)))
+            else:
+                rehomed.add(token)
+        return frozenset(rehomed)
+
+    @staticmethod
+    def _proven_zero(test, polarity):
+        """Holder names proven to hold a zero/empty grant on this edge."""
+        holders = set()
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return ReservationAnalysis._proven_zero(
+                test.operand, not polarity)
+        if isinstance(test, ast.Name):
+            if polarity is False:
+                holders.add(test.id)
+            return holders
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            left, op, right = test.left, test.ops[0], test.comparators[0]
+            name, const = None, None
+            if isinstance(left, ast.Name) and isinstance(right, ast.Constant):
+                name, const, flipped = left.id, right.value, False
+            elif isinstance(right, ast.Name) \
+                    and isinstance(left, ast.Constant):
+                name, const, flipped = right.id, left.value, True
+            else:
+                return holders
+            if not isinstance(const, (int, float)) \
+                    or isinstance(const, bool):
+                return holders
+            # Normalize to "name OP const".
+            if flipped:
+                swap = {ast.Lt: ast.Gt, ast.Gt: ast.Lt,
+                        ast.LtE: ast.GtE, ast.GtE: ast.LtE}
+                op_type = swap.get(type(op), type(op))
+            else:
+                op_type = type(op)
+            proves_zero_true = (
+                (op_type is ast.Eq and const == 0)
+                or (op_type is ast.LtE and const <= 0)
+                or (op_type is ast.Lt and const <= 1)
+            )
+            proves_zero_false = (
+                (op_type is ast.NotEq and const == 0)
+                or (op_type is ast.Gt and const >= 0)
+                or (op_type is ast.GtE and const >= 1)
+            )
+            if polarity is True and proves_zero_true:
+                holders.add(name)
+            elif polarity is False and proves_zero_false:
+                holders.add(name)
+        return holders
+
+    # -- entry point ---------------------------------------------------
+    def leaks(self, body):
+        """Open tokens on some path reaching the scope's normal exit."""
+        cfg, entry_facts = self.analyze(list(body))
+        open_tokens = entry_facts[cfg.exit.id]
+        return sorted(open_tokens) if open_tokens else []

@@ -4,12 +4,16 @@ The runtime's observability contract (TXT1–TXT3, see ``repro.obs``) is
 that a disabled tracer/telemetry handle costs exactly one pointer
 comparison on every hot path: the handle is ``None`` and every
 instrumentation site is dominated by an ``is not None`` test on it.
-This module implements the flow-sensitive half of that check: given a
-parse tree, find every attribute *call* rooted at a tracer-ish object
-that is **not** dominated by such a guard.
+This module implements the flow-sensitive half of that check as a
+client of the shared CFG + dataflow framework
+(:mod:`repro.analysis.cfg`, :mod:`repro.analysis.dataflow`): guard
+facts are a *must* property, so :class:`GuardAnalysis` joins with set
+intersection — a call is satisfied only when a dominating guard holds
+on **every** control-flow path reaching it, through branches, loops,
+``try``/``finally``, and early returns alike.
 
-The analysis is syntactic but understands the guard shapes that occur in
-idiomatic Python:
+The analysis understands the guard shapes that occur in idiomatic
+Python:
 
 * ``if x is not None: x.emit(...)`` (including ``and`` conjunctions);
 * ``x.emit(...) if x is not None else None`` (ternary);
@@ -21,12 +25,15 @@ idiomatic Python:
   None: self.telemetry.sampler.flush(...)`` is fine, because a non-None
   handle owns its sub-objects.
 
-Reassigning a guarded name (``tracer = ...``) invalidates its guard, and
-nested function/class scopes start with no guards — a closure may run
-long after the guard was checked.
+Reassigning a guarded name (``tracer = ...``) invalidates its guard —
+including along loop back edges, which the old prefix-walk could not
+see — and nested function/class scopes start with no guards: a closure
+may run long after the guard was checked.
 """
 
 import ast
+
+from .dataflow import ForwardDataflow, iter_scopes
 
 
 def dotted_parts(node):
@@ -97,11 +104,58 @@ def negative_guards(test):
     return guards
 
 
-def _terminates(body):
-    """True when a block always leaves the enclosing block."""
-    return bool(body) and isinstance(
-        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
-    )
+def _invalidated(fact, key):
+    """Drop *key* and everything rooted under it from a guard fact."""
+    if key is None:
+        return fact
+    prefix = key + "."
+    stale = {g for g in fact if g == key or g.startswith(prefix)}
+    return fact - stale if stale else fact
+
+
+def _invalidate_target(fact, target):
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            fact = _invalidate_target(fact, element)
+        return fact
+    if isinstance(target, ast.Starred):
+        return _invalidate_target(fact, target.value)
+    return _invalidated(fact, _key(target))
+
+
+class GuardAnalysis(ForwardDataflow):
+    """Must-analysis over guard keys: intersection join, edge refinement."""
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a & b
+
+    def refine(self, test, polarity, fact):
+        if polarity is True:
+            return fact | frozenset(positive_guards(test))
+        return fact | frozenset(negative_guards(test))
+
+    def transfer(self, elem, fact):
+        kind, node = elem
+        if kind == "bind":
+            return _invalidate_target(fact, node)
+        if kind != "stmt":
+            return fact
+        if isinstance(node, ast.Assert):
+            return fact | frozenset(positive_guards(node.test))
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                fact = _invalidate_target(fact, target)
+            return fact
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            return _invalidate_target(fact, node.target)
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                fact = _invalidate_target(fact, target)
+            return fact
+        return fact
 
 
 class UnguardedCallScanner:
@@ -118,30 +172,40 @@ class UnguardedCallScanner:
         self.base_matches = base_matches
         #: Violations: (call node, full dotted chain tuple).
         self.found = []
+        self._reported = set()
 
     # -- statements ----------------------------------------------------
     def scan_module(self, tree):
-        self.scan_body(tree.body, set())
+        analysis = GuardAnalysis()
+        for _scope, body in iter_scopes(tree):
+            cfg, entry_facts = analysis.analyze(body)
+            for block in cfg.blocks:
+                fact = entry_facts[block.id]
+                if fact is None:
+                    # Dead code (after an unconditional exit): scan it
+                    # anyway, assuming nothing.
+                    fact = frozenset()
+                self._scan_block(block, set(fact))
         return self.found
 
-    def scan_body(self, body, guarded):
-        guarded = set(guarded)
-        for stmt in body:
-            self.scan_stmt(stmt, guarded)
+    def _scan_block(self, block, guarded):
+        """Walk one block's elements with the fixpoint entry fact,
+        scanning expressions and updating guards in evaluation order."""
+        for kind, node in block.elems:
+            if kind in ("test", "expr"):
+                self.scan_expr(node, guarded)
+            elif kind == "loop-iter":
+                self.scan_expr(node.iter, guarded)
+            elif kind == "bind":
+                self._invalidate(node, guarded)
+            elif kind == "stmt":
+                self._scan_simple(node, guarded)
 
-    def scan_stmt(self, stmt, guarded):
-        if isinstance(stmt, ast.If):
+    def _scan_simple(self, stmt, guarded):
+        if isinstance(stmt, ast.Assert):
             self.scan_expr(stmt.test, guarded)
-            self.scan_body(stmt.body, guarded | positive_guards(stmt.test))
-            self.scan_body(stmt.orelse,
-                           guarded | negative_guards(stmt.test))
-            if _terminates(stmt.body) and not stmt.orelse:
-                guarded |= negative_guards(stmt.test)
-            elif stmt.orelse and _terminates(stmt.orelse) \
-                    and not _terminates(stmt.body):
-                guarded |= positive_guards(stmt.test)
-        elif isinstance(stmt, ast.Assert):
-            self.scan_expr(stmt.test, guarded)
+            if stmt.msg is not None:
+                self.scan_expr(stmt.msg, guarded)
             guarded |= positive_guards(stmt.test)
         elif isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
             if stmt.value is not None:
@@ -152,41 +216,25 @@ class UnguardedCallScanner:
             )
             for target in targets:
                 self._invalidate(target, guarded)
-        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
-            self.scan_expr(stmt.iter, guarded)
-            self._invalidate(stmt.target, guarded)
-            self.scan_body(stmt.body, guarded)
-            self.scan_body(stmt.orelse, guarded)
-        elif isinstance(stmt, ast.While):
-            self.scan_expr(stmt.test, guarded)
-            self.scan_body(stmt.body,
-                           guarded | positive_guards(stmt.test))
-            self.scan_body(stmt.orelse, guarded)
-        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
-            for item in stmt.items:
-                self.scan_expr(item.context_expr, guarded)
-                if item.optional_vars is not None:
-                    self._invalidate(item.optional_vars, guarded)
-            self.scan_body(stmt.body, guarded)
-        elif isinstance(stmt, ast.Try):
-            self.scan_body(stmt.body, guarded)
-            for handler in stmt.handlers:
-                self.scan_body(handler.body, guarded)
-            self.scan_body(stmt.orelse, guarded)
-            self.scan_body(stmt.finalbody, guarded)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._invalidate(target, guarded)
         elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             # Defaults/decorators evaluate in the enclosing scope now;
-            # the body runs later, when no guard still holds.
+            # the body is its own scope (visited via iter_scopes) and
+            # runs later, when no guard still holds.
             for default in (stmt.args.defaults
                             + [d for d in stmt.args.kw_defaults if d]):
                 self.scan_expr(default, guarded)
             for decorator in stmt.decorator_list:
                 self.scan_expr(decorator, guarded)
-            self.scan_body(stmt.body, set())
         elif isinstance(stmt, ast.ClassDef):
             for decorator in stmt.decorator_list:
                 self.scan_expr(decorator, guarded)
-            self.scan_body(stmt.body, set())
+            for base in stmt.bases:
+                self.scan_expr(base, guarded)
+            for keyword in stmt.keywords:
+                self.scan_expr(keyword.value, guarded)
         else:
             for child in ast.iter_child_nodes(stmt):
                 if isinstance(child, ast.expr):
@@ -196,6 +244,9 @@ class UnguardedCallScanner:
         if isinstance(target, (ast.Tuple, ast.List)):
             for element in target.elts:
                 self._invalidate(element, guarded)
+            return
+        if isinstance(target, ast.Starred):
+            self._invalidate(target.value, guarded)
             return
         key = _key(target)
         if key is None:
@@ -269,4 +320,8 @@ class UnguardedCallScanner:
         for length in range(shortest, len(base) + 1):
             if ".".join(base[:length]) in guarded:
                 return
-        self.found.append((node, chain))
+        # finally-body duplication means one call node can be walked on
+        # several paths; report it at most once.
+        if id(node) not in self._reported:
+            self._reported.add(id(node))
+            self.found.append((node, chain))

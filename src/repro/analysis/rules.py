@@ -11,13 +11,29 @@ Each rule encodes one cross-cutting contract of this codebase (see
   type has a dispatch handler and a construction site;
 * **RPR004** — no mutable default arguments;
 * **RPR005** — no broad exception handlers that can swallow
-  ``QueryAborted`` or the termination protocol's control flow.
+  ``QueryAborted`` or the termination protocol's control flow;
+* **RPR006** — no effectful iteration over ``set``s / set-keyed dict
+  views (hash-seed-dependent order breaks bit-determinism);
+* **RPR007** — flow-control reservations must be paired with a release
+  on every CFG path to function exit;
+* **RPR008** — the generated bulk kernels must charge every counter the
+  micro-step handlers charge, exactly once (see
+  :mod:`repro.analysis.kernel_audit`);
+* **RPR009** — no ``QueryScope``-reachable mutable state mutated across
+  the service boundary except through the scheduler API.
 """
 
 import ast
 import os
 
 from repro.analysis.core import Rule, enclosing_symbols
+from repro.analysis.dataflow import iter_scopes
+from repro.analysis.flows import (
+    ReservationAnalysis,
+    SetTypeAnalysis,
+    call_aliases,
+    class_set_model,
+)
 from repro.analysis.guards import UnguardedCallScanner, dotted_parts
 
 # ----------------------------------------------------------------------
@@ -68,7 +84,7 @@ class DeterminismRule(Rule):
     severity = "error"
     scope = ("repro.runtime", "repro.cluster", "repro.chaos",
              "repro.graph", "repro.workloads", "repro.bench",
-             "repro.service", "repro.stats")
+             "repro.service", "repro.stats", "repro.plan.cost")
     rationale = (
         "The paper's guarantees — deterministic query completion under a "
         "finite memory budget — are only testable because a run is a pure "
@@ -442,13 +458,327 @@ class ExceptionHygieneRule(Rule):
         return None
 
 
-#: The default rule pack, in report order.
+# ----------------------------------------------------------------------
+# RPR006 — iteration-order determinism
+# ----------------------------------------------------------------------
+
+#: Call-chain tails whose invocation inside a loop body makes iteration
+#: order observable: message emission, buffer mutation, metric charges.
+#: ``add``/``discard`` are deliberately absent — set insertion is
+#: order-insensitive by construction.
+_EMIT_SEGMENTS = frozenset({
+    "send", "emit", "route", "flush", "_flush", "flush_buffer",
+    "_flush_buffer", "enqueue", "push", "push_frame", "append",
+    "appendleft", "extend", "extendleft", "put", "observe", "inc",
+    "record", "charge",
+})
+
+
+def _metricish_target(target):
+    """True when an AugAssign target looks like a metric/counter cell."""
+    node = target
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    chain = dotted_parts(node)
+    if not chain:
+        return False
+    return any(
+        "metric" in segment or "profil" in segment or "stat" in segment
+        or "counter" in segment or segment.startswith("stage_")
+        for segment in chain
+    )
+
+
+def _loop_has_effects(body):
+    """True when the loop body emits, mutates buffers, or charges
+    metrics — i.e. when iteration order becomes observable."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                chain = dotted_parts(node.func)
+                if chain and len(chain) >= 2 \
+                        and chain[-1] in _EMIT_SEGMENTS:
+                    return True
+            elif isinstance(node, ast.AugAssign):
+                if _metricish_target(node.target):
+                    return True
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+    return False
+
+
+class IterationOrderRule(Rule):
+    """RPR006: no effectful loops over sets or set-keyed dict views."""
+
+    id = "RPR006"
+    title = "iteration-order determinism: no effectful loops over sets"
+    severity = "error"
+    scope = ("repro.runtime", "repro.cluster", "repro.service",
+             "repro.analytics")
+    rationale = (
+        "Every parity gate — bulk-kernel differential, serial-vs-"
+        "concurrent soak, chaos exact-result check — rests on bit-"
+        "deterministic execution, and `set` iteration order depends on "
+        "the interpreter's hash seed. A loop over a set (or over the "
+        "views of a dict keyed from one) whose body sends messages, "
+        "mutates shared buffers, or charges metrics makes emission "
+        "order — and therefore traces, tick interleavings, and peak "
+        "gauges — vary run to run. The dataflow analysis tracks which "
+        "locals, attributes, and helper-method results must hold sets; "
+        "wrap the iterable in `sorted(...)` to pin the order, or "
+        "suppress with a comment when the body is provably order-"
+        "insensitive."
+    )
+    example = (
+        "# bad: message order depends on PYTHONHASHSEED\n"
+        "higher = {v for v in neighbors if v > vertex}\n"
+        "for target in higher:\n"
+        "    ctx.send(target, payload)\n"
+        "\n"
+        "# good: deterministic emission order\n"
+        "for target in sorted(higher):\n"
+        "    ctx.send(target, payload)"
+    )
+
+    def check(self, module):
+        symbols = enclosing_symbols(module.tree)
+        class_models, parent_class = {}, {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                class_models[id(node)] = class_set_model(node)
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        parent_class[id(stmt)] = node
+        reported = set()
+        for scope, body in iter_scopes(module.tree):
+            owner = parent_class.get(id(scope))
+            if owner is not None:
+                attrs, methods = class_models[id(owner)]
+                analysis = SetTypeAnalysis(set_methods=methods,
+                                           seed_attrs=attrs)
+            else:
+                analysis = SetTypeAnalysis()
+            cfg, entry_facts = analysis.analyze(body)
+            for block in cfg.blocks:
+                fact = entry_facts[block.id]
+                if fact is None:
+                    fact = analysis.initial()
+                for elem in block.elems:
+                    kind, node = elem
+                    if kind == "loop-iter" and id(node) not in reported:
+                        classification = analysis.classify_iterable(
+                            node.iter, fact)
+                        if classification is not None \
+                                and _loop_has_effects(node.body):
+                            reported.add(id(node))
+                            iterable = ast.unparse(node.iter)
+                            what = (
+                                "a set" if classification == "set"
+                                else "a set-keyed dict view"
+                            )
+                            yield self.finding(
+                                module, node,
+                                "loop over %s iterates %s in hash order "
+                                "while its body emits/mutates/charges; "
+                                "rewrite as `for ... in sorted(%s):` to "
+                                "pin the order"
+                                % (iterable, what, iterable),
+                                "set-iter:%s" % iterable, symbols,
+                            )
+                    fact = analysis.transfer(elem, fact)
+
+
+# ----------------------------------------------------------------------
+# RPR007 — reservation pairing
+# ----------------------------------------------------------------------
+
+class ReservationPairingRule(Rule):
+    """RPR007: every reserve is released on every path to exit."""
+
+    id = "RPR007"
+    title = "reservation pairing: release flow-control grants on every path"
+    severity = "error"
+    scope = ("repro.runtime", "repro.cluster", "repro.service")
+    rationale = (
+        "Flow control admits work under `inflight + reserved <= limit`; "
+        "`FlowControl.reserve` / `QueryMachine.reserve_items` charge the "
+        "`reserved` term and only `release` / `end_batch` give it back. "
+        "A CFG path that exits a function with a grant still open leaks "
+        "window capacity permanently — after enough leaks every send is "
+        "refused and the query wedges in a way no functional test "
+        "attributes to the leak site. The may-analysis tracks each "
+        "grant through local aliases, container re-homing "
+        "(`resv[dest] = rem - 1`), zero-grant branches, and ownership-"
+        "transferring returns; a grant reaching the normal exit on any "
+        "path is a leak (the raise exit is exempt — aborts snapshot and "
+        "rebuild flow state)."
+    )
+    example = (
+        "# bad: early return leaks the reserved slots\n"
+        "rem = rt.reserve_items(stage, dest, want)\n"
+        "if rem > 0 and not fits(rem):\n"
+        "    return ops, K_BLOCKED\n"
+        "\n"
+        "# good: every exit releases what it still holds\n"
+        "rem = rt.reserve_items(stage, dest, want)\n"
+        "if rem > 0 and not fits(rem):\n"
+        "    rt.end_batch(stage, {dest: rem})\n"
+        "    return ops, K_BLOCKED"
+    )
+
+    def check(self, module):
+        symbols = enclosing_symbols(module.tree)
+        for scope, body in iter_scopes(module.tree):
+            aliases = call_aliases(body)
+            leaks = ReservationAnalysis(aliases).leaks(body)
+            if not leaks:
+                continue
+            calls_at = {}
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call):
+                        calls_at.setdefault(
+                            (node.lineno, node.col_offset), node)
+            for line, col, base, holder in leaks:
+                node = calls_at.get((line, col))
+                if node is None:
+                    continue
+                yield self.finding(
+                    module, node,
+                    "reservation from %s() can reach function exit "
+                    "without a matching release/end_batch on some "
+                    "control-flow path" % base,
+                    "reserve-leak:%s" % base, symbols,
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR009 — cross-scope isolation
+# ----------------------------------------------------------------------
+
+#: Method names that mutate a container in place.
+_MUTATOR_SEGMENTS = frozenset({
+    "append", "appendleft", "add", "remove", "discard", "pop", "popleft",
+    "clear", "extend", "extendleft", "update", "insert", "setdefault",
+    "push", "sort", "reverse",
+})
+
+
+class CrossScopeIsolationRule(Rule):
+    """RPR009: scopes only touch shared state via the scheduler API."""
+
+    id = "RPR009"
+    title = "cross-scope isolation: shared state only via the scheduler"
+    severity = "error"
+    scope = ("repro.service", "repro.runtime")
+    rationale = (
+        "The multi-query service's serial-parity gate holds because a "
+        "QueryScope owns all its mutable state and the scheduler is the "
+        "only cross-scope channel. A scope that writes through its "
+        "service handle (`self.service.x = ...`, "
+        "`self.service.registry.append(...)`) or a module-level mutable "
+        "container in the runtime creates state shared across scopes "
+        "outside the scheduler's control — co-tenant queries then "
+        "observe each other and the concurrent run diverges from the "
+        "serial replay under exactly the schedules the soak can't "
+        "enumerate. Direct scheduler *calls* (`self.service.submit(...)`) "
+        "are the sanctioned channel and stay allowed."
+    )
+    example = (
+        "# bad: scope-side mutation of service-owned state\n"
+        "self.service.active.append(self.query_id)\n"
+        "self.service.last_result = rows\n"
+        "\n"
+        "# good: go through the scheduler API\n"
+        "self.service.retire(self.query_id, rows)"
+    )
+
+    def check(self, module):
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    chain = self._service_chain(target)
+                    if chain is not None and len(chain) >= 3:
+                        dotted = ".".join(chain)
+                        yield self.finding(
+                            module, node,
+                            "assignment to %s mutates service-owned "
+                            "state from a scope; route it through the "
+                            "scheduler API" % dotted,
+                            "scope-write:%s" % dotted, symbols,
+                        )
+            elif isinstance(node, ast.Call):
+                chain = self._service_chain(node.func)
+                if chain is not None and len(chain) >= 4 \
+                        and chain[-1] in _MUTATOR_SEGMENTS:
+                    dotted = ".".join(chain)
+                    yield self.finding(
+                        module, node,
+                        "%s() mutates a service-owned container from a "
+                        "scope; route it through the scheduler API"
+                        % dotted,
+                        "scope-mutate:%s" % dotted, symbols,
+                    )
+        for node in module.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) \
+                        and not target.id.startswith("__") \
+                        and self._module_mutable(node.value):
+                    yield self.finding(
+                        module, node,
+                        "module-level mutable %r is shared by every "
+                        "scope in the process; move it into per-scope "
+                        "state or freeze it" % target.id,
+                        "module-mutable:%s" % target.id, symbols,
+                    )
+
+    @staticmethod
+    def _service_chain(target):
+        """The dotted chain when *target* goes through a service handle."""
+        node = target
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        chain = dotted_parts(node)
+        if chain is None or len(chain) < 2:
+            return None
+        if chain[0] == "self" and chain[1].lstrip("_") == "service":
+            return chain
+        return None
+
+    @staticmethod
+    def _module_mutable(value):
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)):
+            return True
+        return (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _MUTABLE_CALLS)
+
+
+from repro.analysis.kernel_audit import KernelCodegenAuditRule  # noqa: E402
+
+#: The default rule pack, in report order.  RPR008 (the kernel-codegen
+#: audit, :mod:`repro.analysis.kernel_audit`) is the one rule that
+#: compiles repository code (the bench plan matrix) instead of only
+#: parsing it; its heavy imports are deferred into the check itself.
 RULE_CLASSES = (
     DeterminismRule,
     ZeroCostOffRule,
     ProtocolExhaustivenessRule,
     MutableDefaultRule,
     ExceptionHygieneRule,
+    IterationOrderRule,
+    ReservationPairingRule,
+    KernelCodegenAuditRule,
+    CrossScopeIsolationRule,
 )
 
 

@@ -96,17 +96,31 @@ def discover_baseline(paths):
     return None
 
 
-def analyze(paths, rules=None, baseline_path=None):
+def analyze(paths, rules=None, baseline_path=None, severities=None,
+            only=None):
     """Run *rules* (default: the full pack) over *paths*.
 
     Suppression comments are applied first, then the baseline; the
     returned :class:`AnalysisResult` carries only live findings plus the
     bookkeeping counts.
+
+    *severities* optionally maps rule ids to severity overrides
+    (``{"RPR006": "warning"}``) applied before the fail gate.  *only*
+    optionally restricts *reported* findings to a set of absolute file
+    paths (``--diff``): the full module set is still loaded so
+    project-wide rules see complete context, but findings outside the
+    set are dropped before suppression/baseline bookkeeping.
     """
     modules = load_modules(paths)
     if rules is None:
         rules = default_rules()
+    if severities:
+        for rule in rules:
+            override = severities.get(rule.id)
+            if override is not None:
+                rule.severity = override
     by_path = {module.path: module for module in modules}
+    by_abspath = {module.abspath: module for module in modules}
 
     raw = []
     for rule in rules:
@@ -116,6 +130,14 @@ def analyze(paths, rules=None, baseline_path=None):
             for module in modules:
                 if rule.applies(module):
                     raw.extend(rule.check(module))
+
+    if only is not None:
+        wanted = {os.path.abspath(path) for path in only}
+        wanted_display = {
+            module.path for abspath, module in by_abspath.items()
+            if abspath in wanted
+        }
+        raw = [f for f in raw if f.path in wanted_display]
 
     findings, suppressed = [], 0
     for finding in raw:
@@ -130,6 +152,9 @@ def analyze(paths, rules=None, baseline_path=None):
     if baseline_path is not None:
         entries = load_baseline(baseline_path)
         findings, baselined, stale = apply_baseline(findings, entries)
+        if only is not None:
+            # A partial (--diff) scan can't tell stale from out-of-diff.
+            stale = []
 
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return AnalysisResult(findings, suppressed, baselined, stale,

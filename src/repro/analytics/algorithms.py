@@ -151,7 +151,7 @@ class TriangleCount(VertexProgram):
         if ctx.superstep == 0:
             higher = self._higher_neighbors(ctx, vertex)
             payload = tuple(sorted(higher))
-            for target in higher:
+            for target in sorted(higher):
                 ctx.send(target, payload)
             ctx.vote_to_halt()
             return 0
@@ -300,7 +300,7 @@ class LocalClusteringCoefficient(VertexProgram):
         mine = self._neighbors(ctx, vertex)
         if ctx.superstep == 0:
             payload = tuple(sorted(mine))
-            for target in mine:
+            for target in sorted(mine):
                 ctx.send(target, payload)
             ctx.vote_to_halt()
             return 0.0

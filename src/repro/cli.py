@@ -183,11 +183,31 @@ def build_parser():
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories to analyze "
                            "(default: src/repro)")
-    lint.add_argument("--format", choices=["text", "json"], default="text",
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text",
                       help="report format on stdout (default: text)")
     lint.add_argument("--json-out", metavar="PATH",
                       help="also write the JSON report to PATH "
                            "(CI artifact)")
+    lint.add_argument("--sarif-out", metavar="PATH",
+                      help="also write a SARIF 2.1.0 report to PATH "
+                           "(code-scanning artifact)")
+    lint.add_argument("--diff", metavar="REF",
+                      help="only report findings in files changed vs the "
+                           "given git ref (the full tree is still "
+                           "analyzed so project-wide rules see complete "
+                           "context)")
+    lint.add_argument("--select", metavar="RPR00N[,RPR00N...]",
+                      help="run only the named rules "
+                           "(comma-separated ids)")
+    lint.add_argument("--all-scopes", action="store_true",
+                      help="ignore rule scope restrictions (apply every "
+                           "selected rule to every scanned module — for "
+                           "scanning tests/ and benchmarks/)")
+    lint.add_argument("--severity", metavar="RPR00N=LEVEL",
+                      action="append", default=[],
+                      help="override a rule's severity (warning|error); "
+                           "repeatable")
     lint.add_argument("--baseline", metavar="PATH",
                       help="baseline file of reviewed allowed findings "
                            "(default: discover lint-baseline.json "
@@ -202,6 +222,9 @@ def build_parser():
                       help="write the current findings as a baseline "
                            "(placeholder comments; review before "
                            "checking in) and exit 0")
+    lint.add_argument("--prune-baseline", action="store_true",
+                      help="rewrite the baseline file dropping entries "
+                           "that no longer match any finding, then exit")
     lint.add_argument("--explain", metavar="RPR00N",
                       help="print the rule's rationale and an example "
                            "fix, then exit")
@@ -698,12 +721,70 @@ def cmd_bench(args):
     return 0
 
 
+def _lint_rules(args):
+    """Instantiate the (possibly ``--select``-ed) rule objects."""
+    from repro.analysis import default_rules, rule_by_id
+
+    if args.select:
+        rules = []
+        for rule_id in args.select.replace(",", " ").split():
+            rule = rule_by_id(rule_id)
+            if rule is None:
+                raise SystemExit(
+                    "repro lint: unknown rule in --select: %s "
+                    "(rules: RPR001..RPR009)" % rule_id
+                )
+            rules.append(rule)
+    else:
+        rules = default_rules()
+    if args.all_scopes:
+        for rule in rules:
+            rule.scope = ()
+    return rules
+
+
+def _lint_severities(args):
+    """Parse repeated ``--severity RPR00N=level`` overrides."""
+    from repro.analysis import SEVERITIES
+
+    severities = {}
+    for spec in args.severity:
+        rule_id, _, level = spec.partition("=")
+        if level not in SEVERITIES:
+            raise SystemExit(
+                "repro lint: bad --severity %r (expected "
+                "RPR00N=warning or RPR00N=error)" % spec
+            )
+        severities[rule_id.strip()] = level
+    return severities
+
+
+def _diff_paths(ref):
+    """Absolute paths of files changed vs *ref* (``--diff``)."""
+    import subprocess
+
+    try:
+        output = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        raise SystemExit(
+            "repro lint: cannot diff against %r: %s"
+            % (ref, detail.strip())
+        )
+    return [os.path.abspath(line) for line in output.splitlines() if line]
+
+
 def cmd_lint(args):
     from repro.analysis import (
         analyze,
         discover_baseline,
         explain,
         json_report,
+        prune_baseline,
+        sarif_report,
         text_report,
         write_baseline,
     )
@@ -711,7 +792,7 @@ def cmd_lint(args):
     if args.explain:
         text = explain(args.explain)
         if text is None:
-            print("unknown rule: %s (rules: RPR001..RPR005)"
+            print("unknown rule: %s (rules: RPR001..RPR009)"
                   % args.explain)
             return 2
         print(text)
@@ -725,8 +806,12 @@ def cmd_lint(args):
             "root, or name the paths to analyze)" % ", ".join(missing)
         )
 
+    rules = _lint_rules(args)
+    severities = _lint_severities(args)
+    only = _diff_paths(args.diff) if args.diff else None
+
     if args.write_baseline:
-        result = analyze(paths)
+        result = analyze(paths, rules=rules, severities=severities)
         count = write_baseline(result.findings, args.write_baseline)
         print("wrote %d baseline entr%s to %s — review each one and "
               "replace the placeholder comment before checking it in"
@@ -736,17 +821,48 @@ def cmd_lint(args):
     baseline_path = None
     if not args.no_baseline:
         baseline_path = args.baseline or discover_baseline(paths)
-    result = analyze(paths, baseline_path=baseline_path)
+    result = analyze(paths, rules=rules, baseline_path=baseline_path,
+                     severities=severities, only=only)
+    if args.select:
+        # A partial rule selection can't tell stale entries (for rules
+        # that didn't run) from genuinely dead ones.
+        result.stale_baseline = []
+
+    if args.prune_baseline:
+        if baseline_path is None:
+            raise SystemExit("repro lint: --prune-baseline needs a "
+                             "baseline file (none found)")
+        if only is not None or args.select:
+            raise SystemExit("repro lint: --prune-baseline needs a "
+                             "full scan (no --diff / --select): a "
+                             "partial scan cannot tell stale entries "
+                             "from unscanned ones")
+        dropped = prune_baseline(baseline_path, result.stale_baseline)
+        print("pruned %d stale entr%s from %s"
+              % (len(dropped), "y" if len(dropped) == 1 else "ies",
+                 baseline_path))
+        for entry in dropped:
+            print("  dropped: %s" % entry.describe())
+        return 0
 
     if args.format == "json":
         print(json_report(result))
+    elif args.format == "sarif":
+        print(sarif_report(result))
     else:
         if baseline_path is not None:
             print("baseline : %s" % baseline_path)
+        if only is not None:
+            print("diff     : %d changed file%s vs %s"
+                  % (len(only), "" if len(only) == 1 else "s", args.diff))
         print(text_report(result))
     if args.json_out:
         with open(args.json_out, "w") as handle:
             handle.write(json_report(result))
+            handle.write("\n")
+    if args.sarif_out:
+        with open(args.sarif_out, "w") as handle:
+            handle.write(sarif_report(result))
             handle.write("\n")
     return EXIT_LINT if result.fails(args.fail_on) else 0
 
